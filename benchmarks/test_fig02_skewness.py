@@ -1,0 +1,28 @@
+"""Figure 2 — skewness of vertex degrees (paper Section I).
+
+The paper plots the degree distribution of each dataset to motivate that
+graph streams are irregular; this benchmark reports the equivalent skewness
+statistics for the synthetic analogues.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+
+def test_fig02_degree_skewness(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig2_skewness(scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "vertices", "edges", "max_out_degree",
+                  "mean_out_degree", "median_out_degree", "degree_gini",
+                  "top1pct_edge_share"],
+         title="Figure 2: Skewness of Vertex Degrees",
+         filename="fig02_skewness.txt", results_path=results_dir)
+    assert len(rows) == 3
+    # Power-law analogues: the maximum degree dwarfs the median.
+    assert all(row["max_out_degree"] > 10 * max(1, row["median_out_degree"])
+               for row in rows)

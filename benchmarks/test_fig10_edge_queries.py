@@ -1,0 +1,42 @@
+"""Figure 10 — edge queries: AAE, ARE and latency versus the query-range
+length Lq, for all six methods on all three datasets.
+
+Paper shape to check: HIGGS has (near-)zero error at every Lq and never
+underestimates; the top-down baselines' errors grow with Lq; PGSS is the
+least accurate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+RANGE_LENGTHS = (10, 100, 1_000, 10_000)
+QUERIES_PER_LENGTH = 150
+
+
+def test_fig10_edge_queries(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig10_edge_queries(
+            scale=BENCH_SCALE, range_lengths=RANGE_LENGTHS,
+            queries_per_length=QUERIES_PER_LENGTH),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "range_length", "method", "aae", "are",
+                  "latency_us", "underestimates"],
+         title="Figure 10: Edge Queries (AAE / ARE / latency vs Lq)",
+         filename="fig10_edge_queries.txt", results_path=results_dir)
+
+    higgs_rows = [row for row in rows if row["method"] == "HIGGS"]
+    assert higgs_rows and all(row["underestimates"] == 0 for row in higgs_rows)
+
+    # HIGGS is at least as accurate as every baseline on every (dataset, Lq).
+    by_setting = defaultdict(dict)
+    for row in rows:
+        by_setting[(row["dataset"], row["range_length"])][row["method"]] = row["aae"]
+    for setting, per_method in by_setting.items():
+        for method, aae in per_method.items():
+            assert per_method["HIGGS"] <= aae + 1e-9, (setting, method)

@@ -1,0 +1,29 @@
+"""Figure 11 — vertex queries: AAE, ARE and latency versus the query-range
+length Lq (same sweep as Fig. 10 but on the vertex-query primitive).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+RANGE_LENGTHS = (10, 100, 1_000, 10_000)
+QUERIES_PER_LENGTH = 120  # divided by 4 internally for vertex workloads
+
+
+def test_fig11_vertex_queries(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig11_vertex_queries(
+            scale=BENCH_SCALE, range_lengths=RANGE_LENGTHS,
+            queries_per_length=QUERIES_PER_LENGTH),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "range_length", "method", "aae", "are",
+                  "latency_us", "underestimates"],
+         title="Figure 11: Vertex Queries (AAE / ARE / latency vs Lq)",
+         filename="fig11_vertex_queries.txt", results_path=results_dir)
+
+    higgs_rows = [row for row in rows if row["method"] == "HIGGS"]
+    assert higgs_rows and all(row["underestimates"] == 0 for row in higgs_rows)
+    assert all(row["queries"] > 0 for row in rows)

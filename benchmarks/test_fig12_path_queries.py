@@ -1,0 +1,31 @@
+"""Figure 12 — path queries: AAE, ARE and latency versus the number of hops
+(1-7), with the temporal range fixed.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+HOPS = (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_fig12_path_queries(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig12_path_queries(
+            scale=BENCH_SCALE, hops=HOPS, queries_per_setting=25),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "hops", "method", "aae", "are", "latency_us"],
+         title="Figure 12: Path Queries (AAE / ARE / latency vs hops)",
+         filename="fig12_path_queries.txt", results_path=results_dir)
+
+    assert {row["hops"] for row in rows} == set(HOPS)
+    # Longer paths cost more per query for every method (more edge queries).
+    for method in {row["method"] for row in rows}:
+        one_hop = [r["latency_us"] for r in rows
+                   if r["method"] == method and r["hops"] == 1]
+        seven_hop = [r["latency_us"] for r in rows
+                     if r["method"] == method and r["hops"] == 7]
+        assert sum(seven_hop) > sum(one_hop) * 0.8

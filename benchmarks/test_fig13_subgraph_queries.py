@@ -1,0 +1,33 @@
+"""Figure 13 — subgraph queries: AAE, ARE and latency versus the subgraph
+size (the paper sweeps 50-350 edges; the sweep is scaled together with the
+datasets).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+SIZES = (10, 25, 50, 75, 100)
+
+
+def test_fig13_subgraph_queries(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig13_subgraph_queries(
+            scale=BENCH_SCALE, sizes=SIZES, queries_per_setting=10),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "subgraph_size", "method", "aae", "are",
+                  "latency_us"],
+         title="Figure 13: Subgraph Queries (AAE / ARE / latency vs size)",
+         filename="fig13_subgraph_queries.txt", results_path=results_dir)
+
+    assert {row["subgraph_size"] for row in rows} == set(SIZES)
+    # Bigger subgraphs cost more to answer.
+    for method in {row["method"] for row in rows}:
+        small = [r["latency_us"] for r in rows
+                 if r["method"] == method and r["subgraph_size"] == SIZES[0]]
+        large = [r["latency_us"] for r in rows
+                 if r["method"] == method and r["subgraph_size"] == SIZES[-1]]
+        assert sum(large) > sum(small)

@@ -1,0 +1,34 @@
+"""Figure 14 — vertex queries and update cost under varied degree skewness.
+
+Six synthetic streams with power-law exponents 1.5-3.0 (the paper's sweep,
+scaled down); for each, the four panels: vertex-query AAE, vertex-query
+latency, space cost, and insertion throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+
+SKEWNESS = (1.5, 1.8, 2.1, 2.4, 2.7, 3.0)
+
+
+def test_fig14_skewness(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig14_skewness(
+            skewness_values=SKEWNESS, num_vertices=1_000, num_edges=8_000,
+            vertex_queries=25),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["skewness", "method", "aae", "latency_us", "memory_mb",
+                  "throughput_eps"],
+         title="Figure 14: Vertex Queries and Update Cost by Skewness",
+         filename="fig14_skewness.txt", results_path=results_dir)
+
+    assert {row["skewness"] for row in rows} == set(SKEWNESS)
+    higgs = [row for row in rows if row["method"] == "HIGGS"]
+    others = [row for row in rows if row["method"] != "HIGGS"]
+    # HIGGS accuracy is never worse than the average baseline accuracy.
+    assert sum(r["aae"] for r in higgs) / len(higgs) <= \
+        sum(r["aae"] for r in others) / len(others) + 1e-9

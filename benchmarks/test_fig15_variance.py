@@ -1,0 +1,29 @@
+"""Figure 15 — vertex queries and update cost under varied arrival variance.
+
+Six synthetic streams with per-slice arrival variance 600-1600 (the paper's
+sweep, scaled down); same four panels as Fig. 14.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+
+VARIANCES = (600, 800, 1000, 1200, 1400, 1600)
+
+
+def test_fig15_variance(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig15_variance(
+            variance_values=VARIANCES, num_vertices=1_000, num_edges=8_000,
+            vertex_queries=25),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["variance", "method", "aae", "latency_us", "memory_mb",
+                  "throughput_eps"],
+         title="Figure 15: Vertex Queries and Update Cost by Variance",
+         filename="fig15_variance.txt", results_path=results_dir)
+
+    assert {row["variance"] for row in rows} == set(VARIANCES)
+    assert all(row["throughput_eps"] > 0 for row in rows)

@@ -1,0 +1,31 @@
+"""Figure 16 — insertion throughput (items per second) of every method on
+every dataset.  Paper shape: HIGGS leads every competitor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+
+def test_fig16_insert_throughput(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig16_17_update_cost(scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "method", "items", "insert_seconds",
+                  "throughput_eps"],
+         title="Figure 16: Insertion Throughput",
+         filename="fig16_insert_throughput.txt", results_path=results_dir)
+
+    by_dataset = defaultdict(dict)
+    for row in rows:
+        by_dataset[row["dataset"]][row["method"]] = row["throughput_eps"]
+    for dataset, per_method in by_dataset.items():
+        higgs = per_method["HIGGS"]
+        # HIGGS out-ingests the top-down multi-layer baselines.
+        assert higgs > per_method["Horae"], dataset
+        assert higgs > per_method["AuxoTime"], dataset

@@ -1,0 +1,28 @@
+"""Figure 17 — per-item insertion latency (µs) of every method on every
+dataset.  Paper shape: HIGGS has the lowest latency among the TRQ methods.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+
+def test_fig17_insert_latency(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig16_17_update_cost(scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "method", "items", "latency_us"],
+         title="Figure 17: Insertion Latency",
+         filename="fig17_insert_latency.txt", results_path=results_dir)
+
+    by_dataset = defaultdict(dict)
+    for row in rows:
+        by_dataset[row["dataset"]][row["method"]] = row["latency_us"]
+    for dataset, per_method in by_dataset.items():
+        assert per_method["HIGGS"] < per_method["Horae"], dataset
+        assert per_method["HIGGS"] < per_method["AuxoTime"], dataset

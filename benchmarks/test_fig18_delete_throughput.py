@@ -1,0 +1,32 @@
+"""Figure 18 — deletion throughput of every method on every dataset.
+
+A sample of previously inserted items is deleted again; the paper reports
+HIGGS ahead of all baselines.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+
+def test_fig18_delete_throughput(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig18_delete_throughput(scale=BENCH_SCALE,
+                                                        delete_fraction=0.15),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "method", "deletions", "delete_seconds",
+                  "throughput_dps"],
+         title="Figure 18: Deletion Throughput",
+         filename="fig18_delete_throughput.txt", results_path=results_dir)
+
+    assert all(row["throughput_dps"] > 0 for row in rows)
+    datasets = {row["dataset"] for row in rows}
+    for dataset in datasets:
+        per_method = {row["method"]: row["throughput_dps"]
+                      for row in rows if row["dataset"] == dataset}
+        # HIGGS deletes faster than the multi-layer baselines, which must
+        # locate and update every temporal layer.
+        assert per_method["HIGGS"] > per_method["AuxoTime"], dataset

@@ -1,0 +1,38 @@
+"""Figure 21 — parameter analysis: the effect of the leaf matrix size d1 on
+HIGGS's space overhead and query latency.
+
+Paper shape: larger leaf matrices cost more space but answer queries faster
+(fewer leaves per range); d1 = 16 is the recommended balance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench import experiments
+
+LEAF_SIZES = (4, 8, 16, 32, 64)
+
+
+def test_fig21_leaf_matrix_size(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_fig21_parameters(scale=BENCH_SCALE,
+                                                 leaf_sizes=LEAF_SIZES,
+                                                 edge_queries=80),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "d1", "memory_mb", "latency_us", "aae",
+                  "leaf_count", "height", "insert_throughput_eps"],
+         title="Figure 21: Space Cost and Query Latency vs Leaf Matrix Size d1",
+         filename="fig21_parameters.txt", results_path=results_dir)
+
+    assert {row["d1"] for row in rows} == set(LEAF_SIZES)
+    by_dataset = defaultdict(dict)
+    for row in rows:
+        by_dataset[row["dataset"]][row["d1"]] = row
+    for dataset, per_size in by_dataset.items():
+        # Larger leaves -> fewer leaves and a shallower tree.
+        assert per_size[64]["leaf_count"] < per_size[4]["leaf_count"], dataset
+        assert per_size[64]["height"] <= per_size[4]["height"], dataset

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on older toolchains (setuptools < 70
+without the ``wheel`` package, as found on some offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — a full reproduction of "HIGGS: HIerarchy-Guided Graph Stream
+Summarization" (ICDE 2025).
+
+The package provides:
+
+* :class:`repro.Higgs` — the paper's hierarchical graph stream summary,
+* the baselines it is evaluated against (TCM, GSS, Auxo, PGSS, Horae,
+  Horae-cpt, AuxoTime, AuxoTime-cpt) under :mod:`repro.baselines`,
+* graph stream substrates (synthetic datasets, generators, readers) under
+  :mod:`repro.streams`,
+* query workloads and accuracy metrics under :mod:`repro.queries` and
+  :mod:`repro.metrics`, and
+* the experiment harness that regenerates every figure of the paper's
+  evaluation under :mod:`repro.bench`.
+"""
+
+from .core import Higgs, HiggsConfig
+from .summary import TemporalGraphSummary
+from .streams import GraphStream, StreamEdge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Higgs", "HiggsConfig", "TemporalGraphSummary", "GraphStream", "StreamEdge",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Count-Min sketch — the frequency-estimation substrate of the TCM family.
+
+The CM sketch (Cormode & Muthukrishnan 2005) keeps ``depth`` rows of
+``width`` counters, each row with an independent hash function.  Updates add
+the item weight to one counter per row; a point query returns the minimum of
+the hashed counters, which over-estimates with bounded error.
+
+This module is included both as a tested substrate (TCM is literally a CM
+sketch whose key space is the edge set) and as a standalone utility for the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..core.hashing import hash64
+
+
+class CountMinSketch:
+    """Classic count-min sketch over arbitrary hashable items."""
+
+    def __init__(self, width: int, depth: int = 3, *, seed: int = 0,
+                 counter_bytes: int = 4) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError("count-min width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.counter_bytes = counter_bytes
+        self._seeds = [seed * 1_000_003 + row for row in range(depth)]
+        self._table = np.zeros((depth, width), dtype=np.float64)
+
+    def _index(self, item: object, row: int) -> int:
+        return hash64(item, self._seeds[row]) % self.width
+
+    def update(self, item: object, weight: float = 1.0) -> None:
+        """Add ``weight`` to the item's counters."""
+        for row in range(self.depth):
+            self._table[row, self._index(item, row)] += weight
+
+    def remove(self, item: object, weight: float = 1.0) -> None:
+        """Subtract ``weight`` (count-min supports deletions symmetrically)."""
+        self.update(item, -weight)
+
+    def estimate(self, item: object) -> float:
+        """Point estimate: the minimum hashed counter."""
+        return float(min(self._table[row, self._index(item, row)]
+                         for row in range(self.depth)))
+
+    def memory_bytes(self) -> int:
+        """Analytic footprint of the counter array."""
+        return self.width * self.depth * self.counter_bytes
+
+    def row_values(self, row: int) -> np.ndarray:
+        """Return a copy of one counter row (used in tests)."""
+        return self._table[row].copy()
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all weights inserted (taken from the first row)."""
+        return float(self._table[0].sum())

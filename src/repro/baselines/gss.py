@@ -1,0 +1,151 @@
+"""GSS — fast and accurate graph stream summarization (ICDE'19).
+
+GSS improves on TCM by storing a short *fingerprint* of both endpoints inside
+each matrix cell, so different edges that hash to the same cell are no longer
+merged.  Square hashing gives each edge several candidate cells; edges that
+cannot be placed go into an exact adjacency buffer.  GSS is non-temporal; it
+is the per-layer building block Horae reuses, and the structure Auxo makes
+scalable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..core.hashing import hash64
+from ..streams.edge import Vertex
+
+
+@dataclass(slots=True)
+class _Cell:
+    """One matrix cell: fingerprints of both endpoints plus the accumulated weight."""
+    src_fingerprint: int
+    dst_fingerprint: int
+    weight: float
+
+
+class GSS:
+    """Gou et al.'s fingerprint matrix + adjacency buffer (non-temporal).
+
+    Parameters
+    ----------
+    width:
+        Matrix dimension ``d``.
+    fingerprint_bits:
+        Bits kept as each endpoint's fingerprint.
+    num_probes:
+        Square-hashing probe count per endpoint (candidate cells are the
+        cross product of the two probe sequences).
+    """
+
+    name = "GSS"
+
+    def __init__(self, width: int, *, fingerprint_bits: int = 12,
+                 num_probes: int = 2, seed: int = 0,
+                 counter_bytes: int = 4) -> None:
+        if width < 1:
+            raise ConfigurationError("GSS width must be positive")
+        if not 1 <= fingerprint_bits <= 32:
+            raise ConfigurationError("fingerprint_bits must be in [1, 32]")
+        self.width = width
+        self.fingerprint_bits = fingerprint_bits
+        self.num_probes = max(1, num_probes)
+        self.seed = seed
+        self.counter_bytes = counter_bytes
+        self._cells: Dict[Tuple[int, int], _Cell] = {}
+        #: Exact adjacency buffer for edges whose candidate cells are all taken.
+        self._buffer: Dict[Tuple[int, int], float] = {}
+
+    # -- hashing ------------------------------------------------------------
+
+    def _split(self, vertex: Vertex) -> Tuple[int, int]:
+        raw = hash64(vertex, self.seed)
+        fingerprint = raw & ((1 << self.fingerprint_bits) - 1)
+        address = (raw >> self.fingerprint_bits) % self.width
+        return fingerprint, address
+
+    def _probes(self, fingerprint: int, address: int) -> List[int]:
+        step = 2 * fingerprint + 1
+        return [(address + i * step) % self.width for i in range(self.num_probes)]
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, source: Vertex, destination: Vertex, weight: float = 1.0) -> None:
+        """Insert an edge, aggregating on fingerprint match, spilling to the buffer."""
+        src_fp, src_addr = self._split(source)
+        dst_fp, dst_addr = self._split(destination)
+        free_cell: Optional[Tuple[int, int]] = None
+        for row in self._probes(src_fp, src_addr):
+            for col in self._probes(dst_fp, dst_addr):
+                cell = self._cells.get((row, col))
+                if cell is None:
+                    if free_cell is None:
+                        free_cell = (row, col)
+                    continue
+                if cell.src_fingerprint == src_fp and cell.dst_fingerprint == dst_fp:
+                    cell.weight += weight
+                    return
+        if free_cell is not None:
+            self._cells[free_cell] = _Cell(src_fp, dst_fp, weight)
+            return
+        key = (src_fp << self.fingerprint_bits) | dst_fp, src_addr * self.width + dst_addr
+        self._buffer[key] = self._buffer.get(key, 0.0) + weight
+
+    def delete(self, source: Vertex, destination: Vertex, weight: float = 1.0) -> None:
+        """Subtract weight from the matching cell or buffer entry."""
+        self.insert(source, destination, -weight)
+
+    # -- queries --------------------------------------------------------------
+
+    def edge_query(self, source: Vertex, destination: Vertex) -> float:
+        """Weight of the cell (or buffer entry) whose fingerprints match."""
+        src_fp, src_addr = self._split(source)
+        dst_fp, dst_addr = self._split(destination)
+        total = 0.0
+        for row in self._probes(src_fp, src_addr):
+            for col in self._probes(dst_fp, dst_addr):
+                cell = self._cells.get((row, col))
+                if (cell is not None and cell.src_fingerprint == src_fp
+                        and cell.dst_fingerprint == dst_fp):
+                    total += cell.weight
+        key = (src_fp << self.fingerprint_bits) | dst_fp, src_addr * self.width + dst_addr
+        total += self._buffer.get(key, 0.0)
+        return total
+
+    def vertex_query(self, vertex: Vertex, direction: str = "out") -> float:
+        """Sum of cells in the vertex's candidate rows (out) / columns (in)."""
+        fingerprint, address = self._split(vertex)
+        lanes = set(self._probes(fingerprint, address))
+        total = 0.0
+        for (row, col), cell in self._cells.items():
+            if direction == "out":
+                if row in lanes and cell.src_fingerprint == fingerprint:
+                    total += cell.weight
+            else:
+                if col in lanes and cell.dst_fingerprint == fingerprint:
+                    total += cell.weight
+        for (fp_key, addr_key), weight in self._buffer.items():
+            if direction == "out":
+                if (fp_key >> self.fingerprint_bits) == fingerprint and \
+                        addr_key // self.width == address:
+                    total += weight
+            else:
+                if (fp_key & ((1 << self.fingerprint_bits) - 1)) == fingerprint and \
+                        addr_key % self.width == address:
+                    total += weight
+        return total
+
+    # -- accounting -----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Analytic footprint: the pre-allocated matrix plus the buffer entries."""
+        cell_bytes = (2 * self.fingerprint_bits + 7) // 8 + self.counter_bytes
+        buffer_bytes = len(self._buffer) * (cell_bytes + 8)
+        return self.width * self.width * cell_bytes + buffer_bytes
+
+    @property
+    def buffer_size(self) -> int:
+        """Number of edges stored in the exact adjacency buffer."""
+        return len(self._buffer)

@@ -1,0 +1,76 @@
+"""TCM — graph stream summarization with compressed matrices (SIGMOD'16).
+
+TCM keeps ``depth`` independent ``width × width`` matrices of counters.  Each
+matrix has its own hash function mapping a vertex to a row/column index; an
+edge update adds its weight at ``[h_r(s), h_r(d)]`` in every matrix, and a
+query returns the minimum across matrices.  Vertex queries aggregate a whole
+row (outgoing) or column (incoming).
+
+TCM does not keep temporal information — it is the non-temporal substrate
+that PGSS, Horae and the other TRQ baselines extend.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..core.hashing import hash64
+from ..streams.edge import Vertex
+
+
+class TCM:
+    """Tang et al.'s multi-matrix graph sketch (non-temporal)."""
+
+    name = "TCM"
+
+    def __init__(self, width: int, depth: int = 2, *, seed: int = 0,
+                 counter_bytes: int = 4) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError("TCM width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.counter_bytes = counter_bytes
+        self._seeds = [seed * 7_368_787 + 31 * row for row in range(depth)]
+        self._matrices = [np.zeros((width, width), dtype=np.float64)
+                          for _ in range(depth)]
+
+    def _address(self, vertex: Vertex, row: int) -> int:
+        return hash64(vertex, self._seeds[row]) % self.width
+
+    # ------------------------------------------------------------------ #
+
+    def insert(self, source: Vertex, destination: Vertex, weight: float = 1.0) -> None:
+        """Add ``weight`` at the hashed cell of every matrix."""
+        for row in range(self.depth):
+            matrix = self._matrices[row]
+            matrix[self._address(source, row), self._address(destination, row)] += weight
+
+    def delete(self, source: Vertex, destination: Vertex, weight: float = 1.0) -> None:
+        """Subtract ``weight`` (counters support deletion symmetrically)."""
+        self.insert(source, destination, -weight)
+
+    def edge_query(self, source: Vertex, destination: Vertex) -> float:
+        """Minimum of the hashed cells across matrices."""
+        return float(min(
+            self._matrices[row][self._address(source, row),
+                                self._address(destination, row)]
+            for row in range(self.depth)))
+
+    def vertex_query(self, vertex: Vertex, direction: str = "out") -> float:
+        """Minimum across matrices of the vertex's row (out) / column (in) sum."""
+        estimates: List[float] = []
+        for row in range(self.depth):
+            address = self._address(vertex, row)
+            matrix = self._matrices[row]
+            if direction == "out":
+                estimates.append(float(matrix[address, :].sum()))
+            else:
+                estimates.append(float(matrix[:, address].sum()))
+        return min(estimates)
+
+    def memory_bytes(self) -> int:
+        """Analytic footprint of all counter matrices."""
+        return self.depth * self.width * self.width * self.counter_bytes

@@ -1,0 +1,126 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.bench.cli list
+    python -m repro.bench.cli run fig10 --scale 0.1 --results-dir results
+    python -m repro.bench.cli run all   --scale 0.05
+
+``run`` executes one (or all) of the per-figure experiments, prints the
+series the figure plots, and saves it (text + JSON) under the results
+directory — the same artifacts the pytest benchmark harness produces, but
+callable directly and with a configurable scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import BenchmarkError
+from . import experiments
+from .reporting import format_table, save_rows
+
+#: Registry mapping experiment ids to (runner, title, output filename).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table2": (experiments.run_table2, "Table II: Summary of Datasets",
+               "table2_datasets.txt"),
+    "fig2": (experiments.run_fig2_skewness, "Figure 2: Skewness of Vertex Degrees",
+             "fig02_skewness.txt"),
+    "fig3": (experiments.run_fig3_irregularity,
+             "Figure 3: Irregularity of Item Arrivals", "fig03_irregularity.txt"),
+    "fig10": (experiments.run_fig10_edge_queries,
+              "Figure 10: Edge Queries", "fig10_edge_queries.txt"),
+    "fig11": (experiments.run_fig11_vertex_queries,
+              "Figure 11: Vertex Queries", "fig11_vertex_queries.txt"),
+    "fig12": (experiments.run_fig12_path_queries,
+              "Figure 12: Path Queries", "fig12_path_queries.txt"),
+    "fig13": (experiments.run_fig13_subgraph_queries,
+              "Figure 13: Subgraph Queries", "fig13_subgraph_queries.txt"),
+    "fig14": (experiments.run_fig14_skewness,
+              "Figure 14: Irregularity (Skewness)", "fig14_skewness.txt"),
+    "fig15": (experiments.run_fig15_variance,
+              "Figure 15: Irregularity (Variance)", "fig15_variance.txt"),
+    "fig16": (experiments.run_fig16_17_update_cost,
+              "Figures 16/17: Insertion Throughput and Latency",
+              "fig16_17_update_cost.txt"),
+    "fig18": (experiments.run_fig18_delete_throughput,
+              "Figure 18: Deletion Throughput", "fig18_delete_throughput.txt"),
+    "fig19": (experiments.run_fig19_space_cost,
+              "Figure 19: Space Cost", "fig19_space_cost.txt"),
+    "fig20a": (experiments.run_fig20a_parallelization,
+               "Figure 20(a): Parallelization", "fig20a_parallelization.txt"),
+    "fig20b": (experiments.run_fig20b_mmb_and_ob,
+               "Figure 20(b): MMB and Overflow Blocks", "fig20b_mmb_ob.txt"),
+    "fig21": (experiments.run_fig21_parameters,
+              "Figure 21: Parameter Analysis (d1)", "fig21_parameters.txt"),
+}
+
+#: Experiments whose runners accept a ``scale`` keyword (dataset-based ones).
+_SCALED = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
+           "fig16", "fig18", "fig19", "fig20a", "fig20b", "fig21"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the HIGGS paper's evaluation tables and figures.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument("--scale", type=float, default=0.1,
+                     help="dataset scale factor (default 0.1)")
+    run.add_argument("--results-dir", default="results",
+                     help="directory for saved series (default ./results)")
+    run.add_argument("--no-save", action="store_true",
+                     help="print only; do not write result files")
+    return parser
+
+
+def run_experiment(experiment_id: str, *, scale: float, results_dir: str,
+                   save: bool = True) -> List[dict]:
+    """Run one registered experiment and return its rows."""
+    if experiment_id not in EXPERIMENTS:
+        raise BenchmarkError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    runner, title, filename = EXPERIMENTS[experiment_id]
+    kwargs = {"scale": scale} if experiment_id in _SCALED else {}
+    start = time.perf_counter()
+    rows = runner(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(format_table(rows, title=f"{title}  [{elapsed:.1f}s]"))
+    print()
+    if save:
+        save_rows(rows, f"{results_dir}/{filename}", title=title)
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id, (_runner, title, _filename) in EXPERIMENTS.items():
+            print(f"{experiment_id:8s} {title}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    try:
+        for experiment_id in targets:
+            run_experiment(experiment_id, scale=args.scale,
+                           results_dir=args.results_dir, save=not args.no_save)
+    except BenchmarkError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

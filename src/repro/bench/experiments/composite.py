@@ -1,0 +1,86 @@
+"""Path and subgraph query experiments (paper Figs. 12 and 13).
+
+Path queries sweep the number of hops (1-7 in the paper) with the temporal
+range fixed; subgraph queries sweep the subgraph size (50-350 edges in the
+paper, scaled down here together with the streams).  Both report AAE, ARE and
+latency per method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ...queries.evaluation import evaluate_queries
+from ...streams.datasets import DATASET_ORDER
+from ..context import DEFAULT_SCALE, get_context
+
+#: Hop counts swept for path queries (matches the paper's 1-7 range).
+DEFAULT_HOPS: Sequence[int] = (1, 2, 3, 4, 5, 6, 7)
+
+#: Subgraph sizes swept; the paper uses 50-350 edges, scaled here to keep
+#: laptop runtimes while preserving the growth trend.
+DEFAULT_SUBGRAPH_SIZES: Sequence[int] = (10, 25, 50, 75, 100)
+
+#: Fraction of the stream's span used as the fixed temporal range (the paper
+#: fixes the range to 10^5 seconds, roughly mid-span for its traces).
+DEFAULT_RANGE_FRACTION = 0.3
+
+
+def run_fig12_path_queries(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
+                           scale: float = DEFAULT_SCALE,
+                           hops: Sequence[int] = DEFAULT_HOPS,
+                           queries_per_setting: int = 50,
+                           range_fraction: float = DEFAULT_RANGE_FRACTION,
+                           methods: Optional[Iterable[str]] = None
+                           ) -> List[Dict[str, object]]:
+    """Fig. 12: path-query AAE / ARE / latency versus the number of hops."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        context = get_context(dataset, scale=scale, include=methods)
+        range_length = max(1, int(context.span_length * range_fraction))
+        for hop_count in hops:
+            queries = context.workload.path_queries(queries_per_setting,
+                                                    hop_count, range_length)
+            for name, summary in context.methods.items():
+                result = evaluate_queries(summary, queries, context.truth)
+                rows.append({
+                    "figure": "fig12",
+                    "dataset": dataset,
+                    "hops": hop_count,
+                    "method": name,
+                    "aae": result.aae,
+                    "are": result.are,
+                    "latency_us": result.average_latency_micros,
+                    "queries": result.total_queries,
+                })
+    return rows
+
+
+def run_fig13_subgraph_queries(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
+                               scale: float = DEFAULT_SCALE,
+                               sizes: Sequence[int] = DEFAULT_SUBGRAPH_SIZES,
+                               queries_per_setting: int = 20,
+                               range_fraction: float = DEFAULT_RANGE_FRACTION,
+                               methods: Optional[Iterable[str]] = None
+                               ) -> List[Dict[str, object]]:
+    """Fig. 13: subgraph-query AAE / ARE / latency versus the subgraph size."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        context = get_context(dataset, scale=scale, include=methods)
+        range_length = max(1, int(context.span_length * range_fraction))
+        for size in sizes:
+            queries = context.workload.subgraph_queries(queries_per_setting,
+                                                        size, range_length)
+            for name, summary in context.methods.items():
+                result = evaluate_queries(summary, queries, context.truth)
+                rows.append({
+                    "figure": "fig13",
+                    "dataset": dataset,
+                    "subgraph_size": size,
+                    "method": name,
+                    "aae": result.aae,
+                    "are": result.are,
+                    "latency_us": result.average_latency_micros,
+                    "queries": result.total_queries,
+                })
+    return rows

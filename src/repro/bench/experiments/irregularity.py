@@ -1,0 +1,100 @@
+"""Stream-irregularity experiments (paper Figs. 14 and 15).
+
+The paper synthesizes datasets with controlled vertex-degree skewness
+(power-law exponents 1.5-3.0) and controlled arrival variance (600-1600) and
+reports, for each setting: vertex-query AAE, vertex-query latency, space
+cost, and insertion throughput of every method.  This module reproduces both
+sweeps at reduced scale with the same four panels.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ...baselines.exact import ExactTemporalGraph
+from ...queries.evaluation import evaluate_queries
+from ...queries.workload import QueryWorkloadGenerator, WorkloadConfig
+from ...streams.edge import GraphStream
+from ...streams.generators import StreamSpec, generate_stream
+from ..methods import make_methods
+
+#: Power-law exponents swept by Fig. 14 (same values as the paper).
+DEFAULT_SKEWNESS: Sequence[float] = (1.5, 1.8, 2.1, 2.4, 2.7, 3.0)
+
+#: Arrival-variance values swept by Fig. 15 (same values as the paper).
+DEFAULT_VARIANCES: Sequence[float] = (600, 800, 1000, 1200, 1400, 1600)
+
+#: Synthetic stream size: the paper uses 100 K nodes / 5 M edges; scaled here.
+DEFAULT_NUM_VERTICES = 1_500
+DEFAULT_NUM_EDGES = 12_000
+
+
+def _evaluate_stream(stream: GraphStream, *, setting: str, value: float,
+                     figure: str, vertex_queries: int,
+                     methods: Optional[Iterable[str]],
+                     range_fraction: float = 0.3,
+                     workload_seed: int = 23) -> List[Dict[str, object]]:
+    truth = ExactTemporalGraph()
+    truth.insert_stream(stream)
+    workload = QueryWorkloadGenerator(stream, WorkloadConfig(seed=workload_seed))
+    t_min, t_max = stream.time_span
+    range_length = max(1, int((t_max - t_min + 1) * range_fraction))
+    queries = workload.vertex_queries(vertex_queries, range_length)
+
+    rows: List[Dict[str, object]] = []
+    summaries = make_methods(stream, include=methods)
+    for name, summary in summaries.items():
+        start = time.perf_counter()
+        summary.insert_stream(stream)
+        insert_elapsed = time.perf_counter() - start
+        result = evaluate_queries(summary, queries, truth)
+        rows.append({
+            "figure": figure,
+            setting: value,
+            "method": name,
+            "aae": result.aae,
+            "latency_us": result.average_latency_micros,
+            "memory_mb": summary.memory_bytes() / 1e6,
+            "throughput_eps": len(stream) / insert_elapsed if insert_elapsed else 0.0,
+        })
+    return rows
+
+
+def run_fig14_skewness(*, skewness_values: Sequence[float] = DEFAULT_SKEWNESS,
+                       num_vertices: int = DEFAULT_NUM_VERTICES,
+                       num_edges: int = DEFAULT_NUM_EDGES,
+                       vertex_queries: int = 40,
+                       methods: Optional[Iterable[str]] = None,
+                       seed: int = 31) -> List[Dict[str, object]]:
+    """Fig. 14: vertex query accuracy/latency and update cost vs degree skewness."""
+    rows: List[Dict[str, object]] = []
+    for offset, exponent in enumerate(skewness_values):
+        spec = StreamSpec(num_vertices=num_vertices, num_edges=num_edges,
+                          skewness=exponent, time_span=max(1000, num_edges // 2),
+                          seed=seed + offset, name=f"skew-{exponent:.1f}")
+        stream = generate_stream(spec)
+        rows.extend(_evaluate_stream(stream, setting="skewness", value=exponent,
+                                     figure="fig14", vertex_queries=vertex_queries,
+                                     methods=methods))
+    return rows
+
+
+def run_fig15_variance(*, variance_values: Sequence[float] = DEFAULT_VARIANCES,
+                       num_vertices: int = DEFAULT_NUM_VERTICES,
+                       num_edges: int = DEFAULT_NUM_EDGES,
+                       vertex_queries: int = 40,
+                       methods: Optional[Iterable[str]] = None,
+                       seed: int = 37) -> List[Dict[str, object]]:
+    """Fig. 15: vertex query accuracy/latency and update cost vs arrival variance."""
+    rows: List[Dict[str, object]] = []
+    for offset, variance in enumerate(variance_values):
+        spec = StreamSpec(num_vertices=num_vertices, num_edges=num_edges,
+                          skewness=2.0, time_span=max(1000, num_edges // 2),
+                          arrival_variance=float(variance), seed=seed + offset,
+                          name=f"var-{int(variance)}")
+        stream = generate_stream(spec)
+        rows.extend(_evaluate_stream(stream, setting="variance", value=variance,
+                                     figure="fig15", vertex_queries=vertex_queries,
+                                     methods=methods))
+    return rows

@@ -1,0 +1,61 @@
+"""Parameter sensitivity experiment (paper Fig. 21).
+
+Sweeps the leaf matrix size ``d1`` and reports the resulting space overhead
+and average edge-query latency: larger leaves cost more space but answer
+queries faster (fewer leaves per range), which is the trade-off behind the
+paper's recommendation of ``d1 = 16``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Sequence
+
+from ...baselines.exact import ExactTemporalGraph
+from ...core import Higgs
+from ...queries.evaluation import evaluate_queries
+from ...queries.workload import QueryWorkloadGenerator, WorkloadConfig
+from ...streams.datasets import DATASET_ORDER, load_dataset
+from ..context import DEFAULT_SCALE
+from ..methods import scaled_higgs_config
+
+#: Leaf matrix sizes swept (the paper recommends 16).
+DEFAULT_LEAF_SIZES: Sequence[int] = (4, 8, 16, 32, 64)
+
+
+def run_fig21_parameters(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
+                         scale: float = DEFAULT_SCALE,
+                         leaf_sizes: Sequence[int] = DEFAULT_LEAF_SIZES,
+                         edge_queries: int = 100,
+                         range_fraction: float = 0.1,
+                         workload_seed: int = 41) -> List[Dict[str, object]]:
+    """Fig. 21: HIGGS space cost and query latency versus the leaf matrix size d1."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        stream = load_dataset(dataset, scale=scale)
+        truth = ExactTemporalGraph()
+        truth.insert_stream(stream)
+        workload = QueryWorkloadGenerator(stream, WorkloadConfig(seed=workload_seed))
+        t_min, t_max = stream.time_span
+        range_length = max(1, int((t_max - t_min + 1) * range_fraction))
+        queries = workload.edge_queries(edge_queries, range_length)
+        for leaf_size in leaf_sizes:
+            summary = Higgs(scaled_higgs_config(len(stream),
+                                                leaf_matrix_size=leaf_size))
+            start = time.perf_counter()
+            summary.insert_stream(stream)
+            insert_elapsed = time.perf_counter() - start
+            result = evaluate_queries(summary, queries, truth)
+            rows.append({
+                "figure": "fig21",
+                "dataset": dataset,
+                "d1": leaf_size,
+                "memory_mb": summary.memory_bytes() / 1e6,
+                "latency_us": result.average_latency_micros,
+                "aae": result.aae,
+                "leaf_count": summary.leaf_count,
+                "height": summary.height,
+                "insert_throughput_eps": (len(stream) / insert_elapsed
+                                          if insert_elapsed else 0.0),
+            })
+    return rows

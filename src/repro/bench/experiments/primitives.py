@@ -1,0 +1,75 @@
+"""Edge and vertex query experiments (paper Figs. 10 and 11).
+
+For each dataset and each query-range length ``Lq``, a fixed workload of
+edge (or vertex) queries is evaluated on every method; the experiment reports
+AAE, ARE and average query latency — the three panels of Figs. 10/11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ...queries.evaluation import evaluate_queries
+from ...streams.datasets import DATASET_ORDER
+from ..context import DEFAULT_SCALE, get_context
+
+#: Query-range lengths swept by default; the paper sweeps 10^1..10^7 seconds,
+#: scaled here to the synthetic streams' spans.
+DEFAULT_RANGE_LENGTHS: Sequence[int] = (10, 100, 1_000, 10_000)
+
+
+def _range_lengths_for(span: int,
+                       requested: Sequence[int]) -> List[int]:
+    lengths = [length for length in requested if length <= span]
+    if span not in lengths:
+        lengths.append(span)
+    return lengths
+
+
+def run_query_experiment(kind: str, *,
+                         datasets: Iterable[str] = tuple(DATASET_ORDER),
+                         scale: float = DEFAULT_SCALE,
+                         range_lengths: Sequence[int] = DEFAULT_RANGE_LENGTHS,
+                         queries_per_length: int = 200,
+                         methods: Optional[Iterable[str]] = None
+                         ) -> List[Dict[str, object]]:
+    """Run the Fig. 10 (``kind="edge"``) or Fig. 11 (``kind="vertex"``) sweep.
+
+    Returns long-format rows ``(dataset, Lq, method, aae, are, latency_us)``.
+    """
+    if kind not in ("edge", "vertex"):
+        raise ValueError("kind must be 'edge' or 'vertex'")
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        context = get_context(dataset, scale=scale, include=methods)
+        for length in _range_lengths_for(context.span_length, range_lengths):
+            if kind == "edge":
+                queries = context.workload.edge_queries(queries_per_length, length)
+            else:
+                queries = context.workload.vertex_queries(
+                    max(10, queries_per_length // 4), length)
+            for name, summary in context.methods.items():
+                result = evaluate_queries(summary, queries, context.truth)
+                rows.append({
+                    "figure": "fig10" if kind == "edge" else "fig11",
+                    "dataset": dataset,
+                    "query_kind": kind,
+                    "range_length": length,
+                    "method": name,
+                    "aae": result.aae,
+                    "are": result.are,
+                    "latency_us": result.average_latency_micros,
+                    "queries": result.total_queries,
+                    "underestimates": result.accuracy.underestimates,
+                })
+    return rows
+
+
+def run_fig10_edge_queries(**kwargs) -> List[Dict[str, object]]:
+    """Fig. 10: edge-query AAE / ARE / latency versus the query-range length."""
+    return run_query_experiment("edge", **kwargs)
+
+
+def run_fig11_vertex_queries(**kwargs) -> List[Dict[str, object]]:
+    """Fig. 11: vertex-query AAE / ARE / latency versus the query-range length."""
+    return run_query_experiment("vertex", **kwargs)

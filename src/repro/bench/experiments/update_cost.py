@@ -1,0 +1,75 @@
+"""Update cost experiments: insertion throughput (Fig. 16), insertion latency
+(Fig. 17), and deletion throughput (Fig. 18).
+
+Fresh structures are built for every measurement (the shared context cache is
+not used here because its structures are already full).  Deletion replays a
+sample of the inserted items and removes them again, as the paper's deletion
+workload does.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ...streams.datasets import DATASET_ORDER, load_dataset
+from ..context import DEFAULT_SCALE
+from ..methods import make_methods
+
+
+def run_fig16_17_update_cost(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
+                             scale: float = DEFAULT_SCALE,
+                             methods: Optional[Iterable[str]] = None
+                             ) -> List[Dict[str, object]]:
+    """Figs. 16-17: insertion throughput (items/s) and per-item latency (µs)."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        stream = load_dataset(dataset, scale=scale)
+        summaries = make_methods(stream, include=methods)
+        for name, summary in summaries.items():
+            start = time.perf_counter()
+            summary.insert_stream(stream)
+            elapsed = time.perf_counter() - start
+            throughput = len(stream) / elapsed if elapsed > 0 else 0.0
+            rows.append({
+                "figure": "fig16/17",
+                "dataset": dataset,
+                "method": name,
+                "items": len(stream),
+                "insert_seconds": elapsed,
+                "throughput_eps": throughput,
+                "latency_us": (elapsed / len(stream)) * 1e6 if len(stream) else 0.0,
+            })
+    return rows
+
+
+def run_fig18_delete_throughput(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
+                                scale: float = DEFAULT_SCALE,
+                                delete_fraction: float = 0.2,
+                                methods: Optional[Iterable[str]] = None,
+                                seed: int = 17) -> List[Dict[str, object]]:
+    """Fig. 18: deletion throughput (items/s) after a full stream insert."""
+    rows: List[Dict[str, object]] = []
+    rng = random.Random(seed)
+    for dataset in datasets:
+        stream = load_dataset(dataset, scale=scale)
+        delete_count = max(1, int(len(stream) * delete_fraction))
+        to_delete = rng.sample(list(stream.edges), delete_count)
+        summaries = make_methods(stream, include=methods)
+        for name, summary in summaries.items():
+            summary.insert_stream(stream)
+            start = time.perf_counter()
+            for edge in to_delete:
+                summary.delete(edge.source, edge.destination, edge.weight,
+                               edge.timestamp)
+            elapsed = time.perf_counter() - start
+            rows.append({
+                "figure": "fig18",
+                "dataset": dataset,
+                "method": name,
+                "deletions": delete_count,
+                "delete_seconds": elapsed,
+                "throughput_dps": delete_count / elapsed if elapsed > 0 else 0.0,
+            })
+    return rows

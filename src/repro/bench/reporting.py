@@ -1,0 +1,80 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every experiment produces a list of row dictionaries; these helpers render
+them as aligned ASCII tables (the "figure series" the paper plots) and
+persist them under ``results/`` so EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or (abs(value) < 1e-3 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def save_rows(rows: Sequence[Mapping[str, object]], path: str | Path, *,
+              columns: Optional[Sequence[str]] = None,
+              title: Optional[str] = None) -> Path:
+    """Write both the ASCII table and a JSON dump of ``rows`` next to each other."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_table(rows, columns, title) + "\n", encoding="utf-8")
+    json_path = path.with_suffix(".json")
+    json_path.write_text(json.dumps(list(rows), indent=2, default=str),
+                         encoding="utf-8")
+    return path
+
+
+def pivot(rows: Sequence[Mapping[str, object]], *, index: str, column: str,
+          value: str) -> List[Dict[str, object]]:
+    """Pivot long-format rows into one row per ``index`` with one column per ``column``.
+
+    This converts e.g. (dataset, method, metric) rows into the per-figure
+    series layout the paper plots (one line per method).
+    """
+    ordered_index: List[object] = []
+    ordered_columns: List[object] = []
+    table: Dict[object, Dict[str, object]] = {}
+    for row in rows:
+        idx = row[index]
+        col = row[column]
+        if idx not in table:
+            table[idx] = {index: idx}
+            ordered_index.append(idx)
+        if col not in ordered_columns:
+            ordered_columns.append(col)
+        table[idx][str(col)] = row[value]
+    return [table[idx] for idx in ordered_index]

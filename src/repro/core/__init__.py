@@ -1,0 +1,20 @@
+"""HIGGS core: hashing, compressed matrices, the aggregated B-tree, and the
+public :class:`Higgs` summary."""
+
+from .config import HiggsConfig
+from .hashing import VertexHasher, hash64, hash_pair, lift_address
+from .matrix import CompressedMatrix, MatrixEntry
+from .node import InternalNode, LeafNode
+from .tree import HiggsTree
+from .boundary import RangeDecomposition, boundary_search, decompose_range
+from .aggregation import aggregate_internal, aggregate_leaves, lift_coordinates
+from .higgs import Higgs
+from .parallel import PipelinedInserter, insert_stream_parallel
+
+__all__ = [
+    "HiggsConfig", "VertexHasher", "hash64", "hash_pair", "lift_address",
+    "CompressedMatrix", "MatrixEntry", "InternalNode", "LeafNode",
+    "HiggsTree", "RangeDecomposition", "boundary_search", "decompose_range",
+    "aggregate_internal", "aggregate_leaves", "lift_coordinates",
+    "Higgs", "PipelinedInserter", "insert_stream_parallel",
+]

@@ -1,0 +1,108 @@
+"""Bit-shift aggregation of child matrices into a parent matrix (Algorithm 2).
+
+A parent node at layer ``l+1`` aggregates the ``θ`` matrices of its children
+at layer ``l``.  The parent matrix is ``√θ`` times larger per dimension; the
+extra address bits are taken from the top of each entry's fingerprint
+(``R = log2(√θ)`` bits per level), so aggregation is a pure re-addressing of
+the same information and introduces no additional error.  Entries whose
+candidate buckets in the parent matrix are all occupied spill into the
+parent's exact overflow map, preserving exactness of the aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .config import HiggsConfig
+from .hashing import lift_address
+from .matrix import CompressedMatrix
+from .node import InternalNode, LeafNode
+
+
+def lift_coordinates(fingerprint: int, address: int, from_level: int,
+                     to_level: int, config: HiggsConfig) -> Tuple[int, int]:
+    """Lift a ``(fingerprint, address)`` pair from one tree layer to a higher one.
+
+    Repeatedly applies the per-level shift defined by the configuration.  If
+    the fingerprint runs out of bits before reaching ``to_level`` the shift is
+    clamped (the matrix simply stops growing), which keeps the operation
+    total; with the paper's defaults (``F1 = 19``, ``R = 1``) this never
+    happens for realistic tree heights.
+    """
+    current_fp, current_addr = fingerprint, address
+    for level in range(from_level, to_level):
+        available = config.fingerprint_bits_at(level)
+        shift = min(config.shift_bits, available)
+        current_fp, current_addr = lift_address(current_fp, current_addr,
+                                                available, shift)
+    return current_fp, current_addr
+
+
+def build_parent_matrix(level: int, config: HiggsConfig) -> CompressedMatrix:
+    """Allocate the (empty) aggregated matrix for a node at tree layer ``level``."""
+    return CompressedMatrix(
+        config.matrix_size_at(level), config.bucket_entries,
+        num_probes=config.num_probes, store_timestamps=False,
+        entry_bytes=config.internal_entry_bytes(level))
+
+
+def _insert_aggregated(node: InternalNode, fingerprint_src: int,
+                       fingerprint_dst: int, address_src: int,
+                       address_dst: int, weight: float) -> None:
+    """Place one lifted entry into the parent node, spilling over if needed."""
+    placed = node.matrix.insert(fingerprint_src, fingerprint_dst,
+                                address_src, address_dst, weight)
+    if not placed:
+        node.add_overflow(fingerprint_src, fingerprint_dst,
+                          address_src, address_dst, weight)
+
+
+def aggregate_leaves(parent_index: int, leaves: List[LeafNode],
+                     config: HiggsConfig) -> InternalNode:
+    """Build a level-2 internal node aggregating a group of closed leaves.
+
+    Timestamps are dropped: the parent only records the group's overall time
+    span and the separating keys (each child's start timestamp).
+    """
+    level = 2
+    matrix = build_parent_matrix(level, config)
+    t_mins = [leaf.t_min for leaf in leaves if leaf.t_min is not None]
+    t_maxs = [leaf.t_max for leaf in leaves if leaf.t_max is not None]
+    t_min = min(t_mins) if t_mins else 0
+    t_max = max(t_maxs) if t_maxs else 0
+    keys = [leaf.t_min for leaf in leaves[1:] if leaf.t_min is not None]
+    node = InternalNode(level, parent_index, matrix, keys, t_min, t_max)
+
+    for leaf in leaves:
+        for child_matrix in leaf.matrices():
+            for fs, fd, hs, hd, weight, _ts in child_matrix.iter_canonical_entries():
+                lifted_fs, lifted_hs = lift_coordinates(fs, hs, 1, level, config)
+                lifted_fd, lifted_hd = lift_coordinates(fd, hd, 1, level, config)
+                _insert_aggregated(node, lifted_fs, lifted_fd,
+                                   lifted_hs, lifted_hd, weight)
+    return node
+
+
+def aggregate_internal(parent_index: int, children: List[InternalNode],
+                       config: HiggsConfig) -> InternalNode:
+    """Build an internal node at layer ``children[0].level + 1`` from complete children."""
+    child_level = children[0].level
+    level = child_level + 1
+    matrix = build_parent_matrix(level, config)
+    t_min = min(child.t_min for child in children)
+    t_max = max(child.t_max for child in children)
+    keys = [child.t_min for child in children[1:]]
+    node = InternalNode(level, parent_index, matrix, keys, t_min, t_max)
+
+    for child in children:
+        for fs, fd, hs, hd, weight, _ts in child.matrix.iter_canonical_entries():
+            lifted_fs, lifted_hs = lift_coordinates(fs, hs, child_level, level, config)
+            lifted_fd, lifted_hd = lift_coordinates(fd, hd, child_level, level, config)
+            _insert_aggregated(node, lifted_fs, lifted_fd,
+                               lifted_hs, lifted_hd, weight)
+        for (fs, fd, hs, hd), weight in child.overflow.items():
+            lifted_fs, lifted_hs = lift_coordinates(fs, hs, child_level, level, config)
+            lifted_fd, lifted_hd = lift_coordinates(fd, hd, child_level, level, config)
+            _insert_aggregated(node, lifted_fs, lifted_fd,
+                               lifted_hs, lifted_hd, weight)
+    return node

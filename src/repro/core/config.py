@@ -1,0 +1,117 @@
+"""Configuration for the HIGGS structure.
+
+The defaults follow the paper's experimental configuration (Section VI-A):
+leaf matrix size ``d1 = 16``, fingerprint length ``F1 = 19`` bits, ``b = 3``
+entries per bucket, 4 candidate addresses per vertex (multiple mapping
+buckets), and ``θ = 4`` children per node so one fingerprint bit is shifted
+into the address per aggregation level (``R = 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True, slots=True)
+class HiggsConfig:
+    """Tunable parameters of a :class:`~repro.core.higgs.Higgs` summary.
+
+    Attributes
+    ----------
+    leaf_matrix_size:
+        ``d1`` — rows/columns of each leaf compressed matrix.  Must be a
+        power of two so bit-shift aggregation is exact.
+    bucket_entries:
+        ``b`` — number of entries stored per bucket.
+    fingerprint_bits:
+        ``F1`` — fingerprint length at the leaf layer.
+    fanout:
+        ``θ`` — maximum children per tree node.  Must be a power of four so
+        the parent matrix is ``√θ`` times larger per dimension and the number
+        of shifted fingerprint bits ``R = log2(√θ)`` is an integer.
+    num_probes:
+        ``r`` — number of candidate addresses per vertex (multiple mapping
+        buckets).  ``1`` disables the MMB optimization.
+    enable_overflow_blocks:
+        Enable the overflow-block optimization: edges that overflow a leaf
+        while sharing its last timestamp go into a chained overflow matrix
+        instead of forcing a new leaf.  Overflow blocks use the same matrix
+        dimension as the leaf so their entries aggregate upward exactly like
+        regular leaf entries, but with fewer entries per bucket
+        (``overflow_block_entries``), which keeps them small.
+    overflow_block_entries:
+        Entries per bucket in each overflow block.
+    hash_seed:
+        Seed of the vertex hash function.
+    weight_bytes / timestamp_bytes / key_bytes / pointer_bytes:
+        Field widths used by the analytic memory model (DESIGN.md §3.4).
+    """
+
+    leaf_matrix_size: int = 16
+    bucket_entries: int = 3
+    fingerprint_bits: int = 19
+    fanout: int = 4
+    num_probes: int = 4
+    enable_overflow_blocks: bool = True
+    overflow_block_entries: int = 2
+    hash_seed: int = 0
+    weight_bytes: int = 4
+    timestamp_bytes: int = 4
+    key_bytes: int = 8
+    pointer_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.leaf_matrix_size):
+            raise ConfigurationError("leaf_matrix_size (d1) must be a power of two")
+        if self.bucket_entries < 1:
+            raise ConfigurationError("bucket_entries (b) must be >= 1")
+        if not 1 <= self.fingerprint_bits <= 56:
+            raise ConfigurationError("fingerprint_bits (F1) must be in [1, 56]")
+        if self.fanout < 4 or round(math.log(self.fanout, 4)) != math.log(self.fanout, 4):
+            raise ConfigurationError("fanout (theta) must be a power of four (4, 16, 64, ...)")
+        if self.num_probes < 1:
+            raise ConfigurationError("num_probes (r) must be >= 1")
+        if self.enable_overflow_blocks and self.overflow_block_entries < 1:
+            raise ConfigurationError("overflow_block_entries must be >= 1")
+
+    @property
+    def shift_bits(self) -> int:
+        """``R`` — fingerprint bits moved into the address per aggregation level."""
+        return int(round(math.log2(math.isqrt(self.fanout))))
+
+    def fingerprint_bits_at(self, level: int) -> int:
+        """Fingerprint length at tree layer ``level`` (leaf layer is 1)."""
+        if level < 1:
+            raise ConfigurationError("levels are 1-based; the leaf layer is level 1")
+        return max(0, self.fingerprint_bits - (level - 1) * self.shift_bits)
+
+    def matrix_size_at(self, level: int) -> int:
+        """Matrix dimension at tree layer ``level`` (leaf layer is 1)."""
+        if level < 1:
+            raise ConfigurationError("levels are 1-based; the leaf layer is level 1")
+        size = self.leaf_matrix_size
+        for lower in range(1, level):
+            shift = min(self.shift_bits, self.fingerprint_bits_at(lower))
+            size *= (1 << shift)
+        return size
+
+    def leaf_entry_bytes(self) -> int:
+        """Analytic size of one leaf-matrix entry in bytes."""
+        probe_bits = 2 * max(1, (self.num_probes - 1).bit_length()) if self.num_probes > 1 else 0
+        fingerprint_bits = 2 * self.fingerprint_bits
+        id_bytes = math.ceil((fingerprint_bits + probe_bits) / 8)
+        return id_bytes + self.timestamp_bytes + self.weight_bytes
+
+    def internal_entry_bytes(self, level: int) -> int:
+        """Analytic size of one non-leaf entry at tree layer ``level``."""
+        probe_bits = 2 * max(1, (self.num_probes - 1).bit_length()) if self.num_probes > 1 else 0
+        fingerprint_bits = 2 * self.fingerprint_bits_at(level)
+        id_bytes = math.ceil((fingerprint_bits + probe_bits) / 8)
+        return id_bytes + self.weight_bytes

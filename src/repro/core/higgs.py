@@ -1,0 +1,171 @@
+"""HIGGS: the hierarchy-guided graph stream summary (the paper's contribution).
+
+:class:`Higgs` is the public entry point of this library.  It owns the vertex
+hasher, the aggregated B-tree of compressed matrices, and implements the
+:class:`~repro.summary.TemporalGraphSummary` interface: stream items are
+inserted one at a time, and edge / vertex / path / subgraph queries can be
+answered over any temporal range.
+
+Example
+-------
+>>> from repro import Higgs, HiggsConfig
+>>> summary = Higgs(HiggsConfig(leaf_matrix_size=8))
+>>> summary.insert("alice", "bob", 1.0, 10)
+>>> summary.insert("alice", "bob", 2.0, 20)
+>>> summary.edge_query("alice", "bob", 0, 15)
+1.0
+>>> summary.edge_query("alice", "bob", 0, 25)
+3.0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..streams.edge import Vertex
+from ..summary import TemporalGraphSummary
+from .aggregation import lift_coordinates
+from .boundary import RangeDecomposition, boundary_search
+from .config import HiggsConfig
+from .hashing import VertexHasher
+from .tree import HiggsTree
+
+
+class Higgs(TemporalGraphSummary):
+    """Item-based, bottom-up hierarchical graph stream summary.
+
+    Parameters
+    ----------
+    config:
+        Structure parameters; see :class:`~repro.core.config.HiggsConfig`.
+        The defaults match the paper's experimental configuration.
+    """
+
+    name = "HIGGS"
+
+    def __init__(self, config: Optional[HiggsConfig] = None) -> None:
+        self.config = config or HiggsConfig()
+        self._hasher = VertexHasher(self.config.fingerprint_bits,
+                                    self.config.leaf_matrix_size,
+                                    seed=self.config.hash_seed)
+        self._tree = HiggsTree(self.config)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, source: Vertex, destination: Vertex, weight: float,
+               timestamp: int) -> None:
+        """Insert one stream item (paper Algorithm 1)."""
+        src_fingerprint, src_address = self._hasher.split(source)
+        dst_fingerprint, dst_address = self._hasher.split(destination)
+        self._tree.insert_hashed(src_fingerprint, dst_fingerprint,
+                                 src_address, dst_address, weight, int(timestamp))
+
+    def delete(self, source: Vertex, destination: Vertex, weight: float,
+               timestamp: int) -> None:
+        """Remove ``weight`` from a previously inserted item.
+
+        The matching leaf entry and every materialized ancestor aggregate are
+        decremented; if no leaf entry matches (the item was never inserted)
+        the summary is left unchanged.
+        """
+        src_fingerprint, src_address = self._hasher.split(source)
+        dst_fingerprint, dst_address = self._hasher.split(destination)
+        self._tree.delete_hashed(src_fingerprint, dst_fingerprint,
+                                 src_address, dst_address, weight, int(timestamp))
+
+    # ------------------------------------------------------------------ #
+    # temporal range queries
+    # ------------------------------------------------------------------ #
+
+    def _lifted(self, fingerprint: int, address: int, level: int,
+                cache: Dict[Tuple[int, int, int], Tuple[int, int]]
+                ) -> Tuple[int, int]:
+        key = (fingerprint, address, level)
+        lifted = cache.get(key)
+        if lifted is None:
+            lifted = lift_coordinates(fingerprint, address, 1, level, self.config)
+            cache[key] = lifted
+        return lifted
+
+    def edge_query(self, source: Vertex, destination: Vertex,
+                   t_start: int, t_end: int) -> float:
+        """Estimated aggregated weight of ``source → destination`` in range."""
+        self.check_range(t_start, t_end)
+        src_fingerprint, src_address = self._hasher.split(source)
+        dst_fingerprint, dst_address = self._hasher.split(destination)
+        decomposition = boundary_search(self._tree, t_start, t_end)
+
+        total = 0.0
+        cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for node in decomposition.aggregated_nodes:
+            lifted_fs, lifted_hs = self._lifted(src_fingerprint, src_address,
+                                                node.level, cache)
+            lifted_fd, lifted_hd = self._lifted(dst_fingerprint, dst_address,
+                                                node.level, cache)
+            total += node.query_edge(lifted_fs, lifted_fd, lifted_hs, lifted_hd)
+        for leaf in decomposition.boundary_leaves:
+            for matrix in leaf.matrices():
+                total += matrix.query_edge(src_fingerprint, dst_fingerprint,
+                                           src_address, dst_address,
+                                           t_start, t_end)
+        return total
+
+    def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
+                     direction: str = "out") -> float:
+        """Estimated aggregated weight of a vertex's incident edges in range."""
+        self.check_range(t_start, t_end)
+        if direction not in ("out", "in"):
+            raise ValueError("direction must be 'out' or 'in'")
+        fingerprint, address = self._hasher.split(vertex)
+        decomposition = boundary_search(self._tree, t_start, t_end)
+
+        total = 0.0
+        cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for node in decomposition.aggregated_nodes:
+            lifted_f, lifted_h = self._lifted(fingerprint, address,
+                                              node.level, cache)
+            total += node.query_vertex(lifted_f, lifted_h, direction=direction)
+        for leaf in decomposition.boundary_leaves:
+            for matrix in leaf.matrices():
+                total += matrix.query_vertex(fingerprint, address,
+                                             direction=direction,
+                                             t_start=t_start, t_end=t_end)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def decompose(self, t_start: int, t_end: int) -> RangeDecomposition:
+        """Expose the boundary-search decomposition (useful for analysis/tests)."""
+        self.check_range(t_start, t_end)
+        return boundary_search(self._tree, t_start, t_end)
+
+    @property
+    def tree(self) -> HiggsTree:
+        """The underlying tree (read-only use by benchmarks and tests)."""
+        return self._tree
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaf nodes currently in the tree."""
+        return self._tree.leaf_count
+
+    @property
+    def height(self) -> int:
+        """Number of tree layers (leaves included)."""
+        return self._tree.height
+
+    def memory_bytes(self) -> int:
+        """Analytic memory footprint of the whole structure."""
+        return self._tree.memory_bytes()
+
+    def stats(self) -> Dict[str, object]:
+        """Structural statistics (leaf count, utilization, memory, ...)."""
+        return self._tree.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Higgs(leaves={self.leaf_count}, height={self.height}, "
+                f"items={self._tree.items_inserted})")

@@ -1,0 +1,173 @@
+"""Tree nodes of the HIGGS hierarchy.
+
+The HIGGS structure is an aggregated B-tree (paper Section IV-A): all leaves
+sit on the bottom layer and hold timestamped compressed matrices built
+directly from the stream; non-leaf nodes hold timestamp keys separating their
+children plus an aggregated matrix (no timestamps) summarizing the whole
+subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import HiggsConfig
+from .matrix import CompressedMatrix
+
+
+class LeafNode:
+    """A leaf of the HIGGS tree: one timestamped compressed matrix plus any
+    overflow blocks chained to it.
+
+    Overflow blocks (paper Section IV-C) absorb edges that overflow the leaf
+    matrix while carrying the same timestamp as the leaf's latest item, so the
+    parent's timestamp keys stay discriminative.
+    """
+
+    __slots__ = ("index", "matrix", "overflow_blocks", "closed")
+
+    def __init__(self, index: int, config: HiggsConfig) -> None:
+        self.index = index
+        self.matrix = CompressedMatrix(
+            config.leaf_matrix_size, config.bucket_entries,
+            num_probes=config.num_probes, store_timestamps=True,
+            entry_bytes=config.leaf_entry_bytes())
+        self.overflow_blocks: List[CompressedMatrix] = []
+        self.closed = False
+
+    # -- time range -------------------------------------------------------
+
+    @property
+    def t_min(self) -> Optional[int]:
+        """Earliest timestamp stored in this leaf (matrix or overflow blocks)."""
+        candidates = [m.start_time for m in self._all_matrices()
+                      if m.start_time is not None]
+        return min(candidates) if candidates else None
+
+    @property
+    def t_max(self) -> Optional[int]:
+        """Latest timestamp stored in this leaf."""
+        candidates = [m.end_time for m in self._all_matrices()
+                      if m.end_time is not None]
+        return max(candidates) if candidates else None
+
+    def _all_matrices(self) -> List[CompressedMatrix]:
+        return [self.matrix, *self.overflow_blocks]
+
+    def matrices(self) -> List[CompressedMatrix]:
+        """The leaf matrix followed by its overflow blocks, in creation order."""
+        return self._all_matrices()
+
+    def overlaps(self, t_start: int, t_end: int) -> bool:
+        """True if the leaf stores any item whose timestamp may fall in range."""
+        t_min, t_max = self.t_min, self.t_max
+        if t_min is None or t_max is None:
+            return False
+        return not (t_max < t_start or t_min > t_end)
+
+    # -- accounting ---------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of occupied entries across the leaf matrix and overflow blocks."""
+        return sum(m.entry_count for m in self._all_matrices())
+
+    def memory_bytes(self, config: HiggsConfig) -> int:
+        """Analytic footprint: allocated matrices plus one parent pointer."""
+        return sum(m.memory_bytes() for m in self._all_matrices()) + config.pointer_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"LeafNode(index={self.index}, entries={self.entry_count()}, "
+                f"overflow_blocks={len(self.overflow_blocks)}, closed={self.closed})")
+
+
+class InternalNode:
+    """A non-leaf node: an aggregated matrix summarizing ``θ`` children.
+
+    ``level`` is 2 for parents of leaves, 3 for their parents, and so on
+    (the leaf layer is level 1).  The node is materialized only once all of
+    its children are closed, at which point its matrix is built by the
+    bit-shift aggregation of Algorithm 2.  Entries that cannot be placed in
+    the aggregated matrix (all candidate buckets full) spill into an exact
+    ``overflow`` map so aggregation never introduces error.
+    """
+
+    __slots__ = ("level", "index", "matrix", "overflow", "keys",
+                 "t_min", "t_max", "complete")
+
+    def __init__(self, level: int, index: int, matrix: CompressedMatrix,
+                 keys: List[int], t_min: int, t_max: int) -> None:
+        self.level = level
+        self.index = index
+        self.matrix = matrix
+        #: Exact spill-over for entries the aggregated matrix could not place,
+        #: keyed by (f(s), f(d), h(s), h(d)) at this node's level.
+        self.overflow: Dict[Tuple[int, int, int, int], float] = {}
+        #: Timestamp keys separating the children (paper: k-1 keys for k children).
+        self.keys = keys
+        self.t_min = t_min
+        self.t_max = t_max
+        self.complete = True
+
+    def covered_by(self, t_start: int, t_end: int) -> bool:
+        """True if the node's entire time span lies inside ``[t_start, t_end]``."""
+        return t_start <= self.t_min and self.t_max <= t_end
+
+    def overlaps(self, t_start: int, t_end: int) -> bool:
+        """True if the node's time span intersects ``[t_start, t_end]``."""
+        return not (self.t_max < t_start or self.t_min > t_end)
+
+    # -- queries on the aggregated data ------------------------------------
+
+    def query_edge(self, src_fingerprint: int, dst_fingerprint: int,
+                   src_address: int, dst_address: int) -> float:
+        """Aggregated weight of one edge over this node's whole subtree."""
+        total = self.matrix.query_edge(src_fingerprint, dst_fingerprint,
+                                       src_address, dst_address)
+        total += self.overflow.get(
+            (src_fingerprint, dst_fingerprint, src_address, dst_address), 0.0)
+        return total
+
+    def query_vertex(self, fingerprint: int, address: int, *,
+                     direction: str = "out") -> float:
+        """Aggregated weight of a vertex's incident edges over the subtree."""
+        total = self.matrix.query_vertex(fingerprint, address, direction=direction)
+        for (fs, fd, hs, hd), weight in self.overflow.items():
+            if direction == "out" and fs == fingerprint and hs == address:
+                total += weight
+            elif direction == "in" and fd == fingerprint and hd == address:
+                total += weight
+        return total
+
+    def add_overflow(self, src_fingerprint: int, dst_fingerprint: int,
+                     src_address: int, dst_address: int, weight: float) -> None:
+        """Accumulate an entry that did not fit in the aggregated matrix."""
+        key = (src_fingerprint, dst_fingerprint, src_address, dst_address)
+        self.overflow[key] = self.overflow.get(key, 0.0) + weight
+
+    def decrement(self, src_fingerprint: int, dst_fingerprint: int,
+                  src_address: int, dst_address: int, weight: float) -> bool:
+        """Subtract weight from the aggregated view (deletion support)."""
+        if self.matrix.decrement(src_fingerprint, dst_fingerprint,
+                                 src_address, dst_address, weight):
+            return True
+        key = (src_fingerprint, dst_fingerprint, src_address, dst_address)
+        if key in self.overflow:
+            self.overflow[key] -= weight
+            return True
+        return False
+
+    # -- accounting ---------------------------------------------------------
+
+    def memory_bytes(self, config: HiggsConfig) -> int:
+        """Analytic footprint: matrix, overflow entries, keys and child pointers."""
+        overflow_bytes = len(self.overflow) * (
+            config.internal_entry_bytes(self.level) + 2)
+        key_bytes = len(self.keys) * config.key_bytes
+        pointer_bytes = config.fanout * config.pointer_bytes
+        return self.matrix.memory_bytes() + overflow_bytes + key_bytes + pointer_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"InternalNode(level={self.level}, index={self.index}, "
+                f"entries={self.matrix.entry_count}, overflow={len(self.overflow)}, "
+                f"range=[{self.t_min}, {self.t_max}])")

@@ -1,0 +1,283 @@
+"""The HIGGS tree: an append-only, bottom-up aggregated B-tree of matrices.
+
+Leaves hold timestamped compressed matrices built directly from the arriving
+stream; whenever a group of ``θ`` consecutive nodes at one layer is complete,
+an aggregated parent node is materialized one layer up (Algorithm 1 + 2).
+The tree works on *hashed* items — the public :class:`~repro.core.higgs.Higgs`
+class owns the vertex hasher and passes fingerprint/address pairs down.
+
+Timestamps are expected to be non-decreasing across inserts (the natural
+order of a stream replay).  Out-of-order inserts are still stored correctly —
+every leaf tracks its exact time range — but the structure notes the
+violation and the range decomposition then relies only on per-node ranges,
+never on positional assumptions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InsertionError
+from .aggregation import aggregate_internal, aggregate_leaves, lift_coordinates
+from .config import HiggsConfig
+from .matrix import CompressedMatrix
+from .node import InternalNode, LeafNode
+
+
+class HiggsTree:
+    """Container managing the leaf layer and all aggregated layers."""
+
+    def __init__(self, config: HiggsConfig) -> None:
+        self.config = config
+        self.leaves: List[LeafNode] = []
+        #: ``self._internal[k]`` holds the nodes of tree layer ``k + 2``.
+        self._internal: List[List[InternalNode]] = []
+        #: First timestamp inserted into each leaf (for delete-time lookup).
+        self._leaf_first_ts: List[Optional[int]] = []
+        self._last_timestamp: Optional[int] = None
+        self._monotonic = True
+        self._items_inserted = 0
+
+    # ------------------------------------------------------------------ #
+    # structure accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaf nodes (``n1`` in the paper)."""
+        return len(self.leaves)
+
+    @property
+    def height(self) -> int:
+        """Number of layers (leaf layer counts as 1)."""
+        return 1 + sum(1 for level_nodes in self._internal if level_nodes)
+
+    @property
+    def items_inserted(self) -> int:
+        """Total number of stream items inserted so far."""
+        return self._items_inserted
+
+    def internal_node(self, level: int, index: int) -> Optional[InternalNode]:
+        """Return the materialized internal node at ``(level, index)`` or None.
+
+        ``level`` is the tree layer (2 = parents of leaves).
+        """
+        slot = level - 2
+        if slot < 0 or slot >= len(self._internal):
+            return None
+        nodes = self._internal[slot]
+        if index >= len(nodes):
+            return None
+        return nodes[index]
+
+    def internal_levels(self) -> List[List[InternalNode]]:
+        """All materialized internal layers, bottom-up (layer 2 first)."""
+        return self._internal
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+
+    def _current_leaf(self) -> LeafNode:
+        if not self.leaves:
+            self._open_leaf()
+        return self.leaves[-1]
+
+    def _open_leaf(self) -> LeafNode:
+        leaf = LeafNode(len(self.leaves), self.config)
+        self.leaves.append(leaf)
+        self._leaf_first_ts.append(None)
+        return leaf
+
+    def insert_hashed(self, src_fingerprint: int, dst_fingerprint: int,
+                      src_address: int, dst_address: int, weight: float,
+                      timestamp: int) -> None:
+        """Insert one hashed stream item, opening new leaves / overflow blocks
+        and triggering upward aggregation as needed (Algorithm 1)."""
+        if self._last_timestamp is not None and timestamp < self._last_timestamp:
+            self._monotonic = False
+        self._last_timestamp = (timestamp if self._last_timestamp is None
+                                else max(self._last_timestamp, timestamp))
+
+        leaf = self._current_leaf()
+        if leaf.matrix.insert(src_fingerprint, dst_fingerprint,
+                              src_address, dst_address, weight, timestamp):
+            self._note_insert(leaf, timestamp)
+            return
+
+        if (self.config.enable_overflow_blocks
+                and leaf.t_max is not None and timestamp == leaf.t_max):
+            self._insert_into_overflow(leaf, src_fingerprint, dst_fingerprint,
+                                       src_address, dst_address, weight, timestamp)
+            self._note_insert(leaf, timestamp)
+            return
+
+        self._close_leaf(leaf)
+        new_leaf = self._open_leaf()
+        if not new_leaf.matrix.insert(src_fingerprint, dst_fingerprint,
+                                      src_address, dst_address, weight, timestamp):
+            raise InsertionError("insertion into a freshly opened leaf matrix failed; "
+                                 "this indicates an invalid configuration")
+        self._note_insert(new_leaf, timestamp)
+
+    def _note_insert(self, leaf: LeafNode, timestamp: int) -> None:
+        if self._leaf_first_ts[leaf.index] is None:
+            self._leaf_first_ts[leaf.index] = timestamp
+        self._items_inserted += 1
+
+    def _insert_into_overflow(self, leaf: LeafNode, src_fingerprint: int,
+                              dst_fingerprint: int, src_address: int,
+                              dst_address: int, weight: float,
+                              timestamp: int) -> None:
+        """Place an item into the leaf's overflow-block chain, growing it if needed."""
+        for block in leaf.overflow_blocks:
+            if block.insert(src_fingerprint, dst_fingerprint,
+                            src_address, dst_address, weight, timestamp):
+                return
+        # Overflow blocks share the leaf matrix dimension so their entries'
+        # canonical addresses lift to parent levels exactly like leaf entries;
+        # the smaller per-bucket capacity keeps each block lightweight.
+        block = CompressedMatrix(
+            self.config.leaf_matrix_size, self.config.overflow_block_entries,
+            num_probes=self.config.num_probes, store_timestamps=True,
+            entry_bytes=self.config.leaf_entry_bytes())
+        leaf.overflow_blocks.append(block)
+        if not block.insert(src_fingerprint, dst_fingerprint,
+                            src_address, dst_address, weight, timestamp):
+            raise InsertionError("insertion into a fresh overflow block failed")
+
+    # ------------------------------------------------------------------ #
+    # leaf closing and upward aggregation
+    # ------------------------------------------------------------------ #
+
+    def _close_leaf(self, leaf: LeafNode) -> None:
+        leaf.closed = True
+        fanout = self.config.fanout
+        if (leaf.index + 1) % fanout != 0:
+            return
+        group_start = leaf.index + 1 - fanout
+        group = self.leaves[group_start:leaf.index + 1]
+        parent_index = leaf.index // fanout
+        node = aggregate_leaves(parent_index, group, self.config)
+        self._append_internal(2, parent_index, node)
+        self._maybe_close_internal(2, parent_index)
+
+    def _append_internal(self, level: int, index: int, node: InternalNode) -> None:
+        slot = level - 2
+        while len(self._internal) <= slot:
+            self._internal.append([])
+        nodes = self._internal[slot]
+        if len(nodes) != index:
+            raise InsertionError(
+                f"internal node at level {level} materialized out of order: "
+                f"expected index {len(nodes)}, got {index}")
+        nodes.append(node)
+
+    def _maybe_close_internal(self, level: int, index: int) -> None:
+        """Cascade aggregation upward when a group of ``θ`` internal nodes completes."""
+        fanout = self.config.fanout
+        if (index + 1) % fanout != 0:
+            return
+        slot = level - 2
+        group_start = index + 1 - fanout
+        children = self._internal[slot][group_start:index + 1]
+        parent_index = index // fanout
+        node = aggregate_internal(parent_index, children, self.config)
+        self._append_internal(level + 1, parent_index, node)
+        self._maybe_close_internal(level + 1, parent_index)
+
+    # ------------------------------------------------------------------ #
+    # deletion
+    # ------------------------------------------------------------------ #
+
+    def delete_hashed(self, src_fingerprint: int, dst_fingerprint: int,
+                      src_address: int, dst_address: int, weight: float,
+                      timestamp: int) -> bool:
+        """Subtract ``weight`` from the matching leaf entry and every
+        materialized ancestor aggregate.  Returns True if a leaf entry matched."""
+        leaf = self._find_leaf_for_delete(src_fingerprint, dst_fingerprint,
+                                          src_address, dst_address, weight,
+                                          timestamp)
+        if leaf is None:
+            return False
+        self._decrement_ancestors(leaf.index, src_fingerprint, dst_fingerprint,
+                                  src_address, dst_address, weight)
+        return True
+
+    def _candidate_leaf_indices(self, timestamp: int) -> List[int]:
+        """Leaf indices whose time range may contain ``timestamp``."""
+        n = len(self.leaves)
+        if n == 0:
+            return []
+        if not self._monotonic:
+            return [i for i, leaf in enumerate(self.leaves)
+                    if leaf.overlaps(timestamp, timestamp)]
+        starts = [ts if ts is not None else timestamp for ts in self._leaf_first_ts]
+        hi = bisect.bisect_right(starts, timestamp)
+        candidates = []
+        index = hi - 1
+        while index >= 0:
+            leaf = self.leaves[index]
+            if leaf.t_max is not None and leaf.t_max < timestamp:
+                break
+            candidates.append(index)
+            index -= 1
+        return candidates
+
+    def _find_leaf_for_delete(self, src_fingerprint: int, dst_fingerprint: int,
+                              src_address: int, dst_address: int, weight: float,
+                              timestamp: int) -> Optional[LeafNode]:
+        for index in self._candidate_leaf_indices(timestamp):
+            leaf = self.leaves[index]
+            for matrix in leaf.matrices():
+                if matrix.decrement(src_fingerprint, dst_fingerprint,
+                                    src_address, dst_address, weight, timestamp):
+                    return leaf
+        return None
+
+    def _decrement_ancestors(self, leaf_index: int, src_fingerprint: int,
+                             dst_fingerprint: int, src_address: int,
+                             dst_address: int, weight: float) -> None:
+        fanout = self.config.fanout
+        group = leaf_index
+        for slot, nodes in enumerate(self._internal):
+            level = slot + 2
+            group //= fanout
+            if group >= len(nodes):
+                break
+            node = nodes[group]
+            lifted_fs, lifted_hs = lift_coordinates(src_fingerprint, src_address,
+                                                    1, level, self.config)
+            lifted_fd, lifted_hd = lift_coordinates(dst_fingerprint, dst_address,
+                                                    1, level, self.config)
+            node.decrement(lifted_fs, lifted_fd, lifted_hs, lifted_hd, weight)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """Analytic footprint of all layers, keys and pointers."""
+        total = sum(leaf.memory_bytes(self.config) for leaf in self.leaves)
+        for nodes in self._internal:
+            total += sum(node.memory_bytes(self.config) for node in nodes)
+        return total
+
+    def stats(self) -> Dict[str, object]:
+        """Structural statistics used by benchmarks and debugging."""
+        leaf_entries = sum(leaf.entry_count() for leaf in self.leaves)
+        leaf_capacity = sum(
+            sum(m.capacity for m in leaf.matrices()) for leaf in self.leaves)
+        overflow_blocks = sum(len(leaf.overflow_blocks) for leaf in self.leaves)
+        return {
+            "leaf_count": self.leaf_count,
+            "height": self.height,
+            "items_inserted": self._items_inserted,
+            "leaf_entries": leaf_entries,
+            "leaf_utilization": (leaf_entries / leaf_capacity) if leaf_capacity else 0.0,
+            "overflow_blocks": overflow_blocks,
+            "internal_nodes": sum(len(nodes) for nodes in self._internal),
+            "memory_bytes": self.memory_bytes(),
+            "monotonic": self._monotonic,
+        }

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class.  Each error keeps enough context in its message to
+diagnose the failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a summary or workload is constructed with invalid parameters."""
+
+
+class InsertionError(ReproError):
+    """Raised when an edge cannot be inserted into a summary structure.
+
+    Most structures handle overflow internally (e.g. HIGGS opens a new leaf);
+    this error signals a bug or a structurally impossible insert such as a
+    timestamp that moves backwards when the structure requires monotone time.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed (e.g. an empty or inverted time range)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, parsed, or validated."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when an experiment harness is given an inconsistent specification."""

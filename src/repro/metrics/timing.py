@@ -1,0 +1,82 @@
+"""Timing metrics: throughput, latency, and a simple wall-clock timer.
+
+The paper reports insertion throughput (items per second), per-item insertion
+latency, deletion throughput, and average query latency.  These helpers wrap
+``time.perf_counter`` so every benchmark measures the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputResult:
+    """Outcome of a timed bulk operation."""
+
+    operations: int
+    elapsed_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second (0 for an empty run)."""
+        if self.elapsed_seconds <= 0:
+            return float(self.operations) if self.operations else 0.0
+        return self.operations / self.elapsed_seconds
+
+    @property
+    def latency_seconds(self) -> float:
+        """Average seconds per operation."""
+        if self.operations == 0:
+            return 0.0
+        return self.elapsed_seconds / self.operations
+
+    @property
+    def latency_micros(self) -> float:
+        """Average microseconds per operation."""
+        return self.latency_seconds * 1e6
+
+
+class Timer:
+    """Minimal wall-clock timer based on ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+def measure_throughput(operation: Callable[[], None], operations: int) -> ThroughputResult:
+    """Time a callable that internally performs ``operations`` operations."""
+    start = time.perf_counter()
+    operation()
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(operations=operations, elapsed_seconds=elapsed)
+
+
+def measure_latencies(callables: Sequence[Callable[[], object]]) -> List[float]:
+    """Run each callable once and return per-call wall-clock seconds."""
+    latencies = []
+    for call in callables:
+        start = time.perf_counter()
+        call()
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def average_latency_micros(callables: Sequence[Callable[[], object]]) -> float:
+    """Average latency of the given calls, in microseconds."""
+    latencies = measure_latencies(callables)
+    if not latencies:
+        return 0.0
+    return sum(latencies) / len(latencies) * 1e6

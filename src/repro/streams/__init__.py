@@ -1,0 +1,20 @@
+"""Graph stream substrate: edge model, synthetic generators, dataset analogues,
+file readers, and descriptive statistics."""
+
+from .edge import GraphStream, StreamEdge
+from .generators import (StreamSpec, generate_stream, generate_skewness_suite,
+                         generate_variance_suite)
+from .datasets import (DATASETS, DATASET_ORDER, DatasetDescriptor,
+                       dataset_names, load_dataset, table2_rows)
+from .readers import read_stream, write_stream, iter_edges_from_text
+from . import analysis
+
+__all__ = [
+    "GraphStream", "StreamEdge",
+    "StreamSpec", "generate_stream", "generate_skewness_suite",
+    "generate_variance_suite",
+    "DATASETS", "DATASET_ORDER", "DatasetDescriptor", "dataset_names",
+    "load_dataset", "table2_rows",
+    "read_stream", "write_stream", "iter_edges_from_text",
+    "analysis",
+]

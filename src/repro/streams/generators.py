@@ -1,0 +1,186 @@
+"""Synthetic graph stream generators.
+
+The paper's evaluation uses real KONECT traces (Lkml, Wikipedia-talk,
+Stackoverflow) plus synthetic streams with controlled skewness (power-law
+exponent) and arrival variance (Section VI-D, Figs. 14-15).  This module
+implements the synthetic side and is also used to build offline analogues of
+the real traces (see :mod:`repro.streams.datasets`).
+
+Two axes of irregularity are modelled, matching the paper:
+
+* **Skewed vertex degrees** — vertices are drawn from a Zipf/power-law
+  distribution so a few "head" vertices participate in a large fraction of
+  edges (paper Fig. 2).
+* **Bursty arrivals** — timestamps are drawn so that some time slices carry
+  many more edges than others; the spread is controlled by a variance
+  parameter (paper Fig. 3 and Fig. 15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError
+from .edge import GraphStream, StreamEdge
+
+
+@dataclass(slots=True)
+class StreamSpec:
+    """Parameters controlling a synthetic graph stream.
+
+    Attributes
+    ----------
+    num_vertices:
+        Number of distinct vertex identifiers available.
+    num_edges:
+        Number of stream items to generate.
+    skewness:
+        Power-law exponent for vertex popularity (paper sweeps 1.5 - 3.0).
+        Higher values concentrate edges on fewer head vertices.
+    time_span:
+        Length of the stream in time units; timestamps fall in
+        ``[0, time_span)``.
+    arrival_variance:
+        Controls burstiness of arrivals.  ``0`` gives near-uniform arrivals;
+        larger values concentrate edges into hot intervals (paper sweeps the
+        per-slice count variance from 600 to 1600).
+    max_weight:
+        Item weights are drawn uniformly from ``{1, ..., max_weight}``.
+    num_bursts:
+        Number of hot intervals used when ``arrival_variance > 0``.
+    seed:
+        Seed for the underlying PRNG; generation is fully deterministic
+        given the spec.
+    name:
+        Human-readable stream name propagated to the :class:`GraphStream`.
+    """
+
+    num_vertices: int
+    num_edges: int
+    skewness: float = 2.0
+    time_span: int = 100_000
+    arrival_variance: float = 0.0
+    max_weight: int = 4
+    num_bursts: int = 12
+    seed: int = 7
+    name: str = "synthetic"
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` if the spec is not generatable."""
+        if self.num_vertices < 2:
+            raise DatasetError("a graph stream needs at least 2 vertices")
+        if self.num_edges < 1:
+            raise DatasetError("a graph stream needs at least 1 edge")
+        if self.skewness <= 1.0:
+            raise DatasetError("power-law skewness must be > 1.0")
+        if self.time_span < 1:
+            raise DatasetError("time_span must be positive")
+        if self.max_weight < 1:
+            raise DatasetError("max_weight must be at least 1")
+        if self.arrival_variance < 0:
+            raise DatasetError("arrival_variance must be non-negative")
+
+
+def _powerlaw_probabilities(n: int, exponent: float) -> np.ndarray:
+    """Return a normalized power-law probability vector over ``n`` ranks."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def _burst_timestamps(rng: np.random.Generator, n: int, time_span: int,
+                      variance: float, num_bursts: int) -> np.ndarray:
+    """Draw ``n`` timestamps with controllable burstiness.
+
+    A fraction of edges (growing with ``variance``) is concentrated into
+    ``num_bursts`` narrow hot windows; the rest is spread uniformly.  This
+    mirrors the hot-interval structure of the paper's Fig. 3.
+    """
+    if variance <= 0:
+        return rng.integers(0, time_span, size=n)
+    # Map the variance knob into a hot fraction in (0, 0.9].
+    hot_fraction = min(0.9, variance / (variance + 800.0))
+    n_hot = int(n * hot_fraction)
+    n_cold = n - n_hot
+    centers = rng.integers(0, time_span, size=num_bursts)
+    widths = np.maximum(1, (time_span // (num_bursts * 20)))
+    burst_choice = rng.integers(0, num_bursts, size=n_hot)
+    hot = centers[burst_choice] + rng.integers(-widths, widths + 1, size=n_hot)
+    hot = np.clip(hot, 0, time_span - 1)
+    cold = rng.integers(0, time_span, size=n_cold)
+    stamps = np.concatenate([hot, cold])
+    rng.shuffle(stamps)
+    return stamps
+
+
+def generate_stream(spec: StreamSpec) -> GraphStream:
+    """Generate a synthetic :class:`GraphStream` from a :class:`StreamSpec`.
+
+    Sources are drawn from a power-law popularity distribution and
+    destinations from a slightly flatter one (real communication graphs have
+    more skew on the sending side); self-loops are rerolled.
+    """
+    spec.validate()
+    rng = np.random.default_rng(spec.seed)
+    src_probs = _powerlaw_probabilities(spec.num_vertices, spec.skewness)
+    dst_probs = _powerlaw_probabilities(spec.num_vertices,
+                                        max(1.05, spec.skewness * 0.75))
+
+    sources = rng.choice(spec.num_vertices, size=spec.num_edges, p=src_probs)
+    destinations = rng.choice(spec.num_vertices, size=spec.num_edges, p=dst_probs)
+    # Reroll self loops once; any that survive get shifted by one (mod n).
+    loops = sources == destinations
+    if loops.any():
+        destinations[loops] = rng.choice(spec.num_vertices, size=int(loops.sum()),
+                                         p=dst_probs)
+        still = sources == destinations
+        destinations[still] = (destinations[still] + 1) % spec.num_vertices
+
+    weights = rng.integers(1, spec.max_weight + 1, size=spec.num_edges)
+    timestamps = _burst_timestamps(rng, spec.num_edges, spec.time_span,
+                                   spec.arrival_variance, spec.num_bursts)
+    order = np.argsort(timestamps, kind="stable")
+
+    edges = [
+        StreamEdge(f"v{sources[i]}", f"v{destinations[i]}",
+                   float(weights[i]), int(timestamps[i]))
+        for i in order
+    ]
+    return GraphStream(edges, name=spec.name)
+
+
+def generate_skewness_suite(num_vertices: int = 2_000, num_edges: int = 20_000,
+                            exponents: Sequence[float] = (1.5, 1.8, 2.1, 2.4, 2.7, 3.0),
+                            seed: int = 11) -> List[GraphStream]:
+    """Generate the skewness sweep used by the paper's Fig. 14.
+
+    The paper uses 100 K nodes / 5 M edges per dataset; the defaults here are
+    scaled down ~250x so the full sweep runs quickly in pure Python (see the
+    substitution notes in DESIGN.md).
+    """
+    streams = []
+    for i, exponent in enumerate(exponents):
+        spec = StreamSpec(num_vertices=num_vertices, num_edges=num_edges,
+                          skewness=exponent, time_span=max(1000, num_edges // 2),
+                          arrival_variance=0.0, seed=seed + i,
+                          name=f"skew-{exponent:.1f}")
+        streams.append(generate_stream(spec))
+    return streams
+
+
+def generate_variance_suite(num_vertices: int = 2_000, num_edges: int = 20_000,
+                            variances: Sequence[float] = (600, 800, 1000, 1200, 1400, 1600),
+                            seed: int = 13) -> List[GraphStream]:
+    """Generate the arrival-variance sweep used by the paper's Fig. 15."""
+    streams = []
+    for i, variance in enumerate(variances):
+        spec = StreamSpec(num_vertices=num_vertices, num_edges=num_edges,
+                          skewness=2.0, time_span=max(1000, num_edges // 2),
+                          arrival_variance=float(variance), seed=seed + i,
+                          name=f"var-{int(variance)}")
+        streams.append(generate_stream(spec))
+    return streams

@@ -1,0 +1,97 @@
+"""Readers for on-disk graph stream logs.
+
+Real graph stream traces (e.g. the KONECT exports the paper uses) are plain
+text files with one edge per line.  This module parses the two common layouts:
+
+* ``src dst timestamp``            (weight defaults to 1)
+* ``src dst weight timestamp``
+
+Comment lines starting with ``%`` or ``#`` are skipped, matching the KONECT
+file format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import DatasetError
+from .edge import GraphStream, StreamEdge
+
+
+def _parse_line(fields: List[str], line_no: int) -> StreamEdge:
+    """Parse a single whitespace/CSV-split record into a :class:`StreamEdge`."""
+    if len(fields) == 3:
+        src, dst, ts = fields
+        weight = 1.0
+    elif len(fields) >= 4:
+        src, dst, weight_str, ts = fields[0], fields[1], fields[2], fields[3]
+        try:
+            weight = float(weight_str)
+        except ValueError as exc:
+            raise DatasetError(f"line {line_no}: bad weight {weight_str!r}") from exc
+    else:
+        raise DatasetError(f"line {line_no}: expected 3 or 4 fields, got {len(fields)}")
+    try:
+        timestamp = int(float(ts))
+    except ValueError as exc:
+        raise DatasetError(f"line {line_no}: bad timestamp {ts!r}") from exc
+    return StreamEdge(src, dst, weight, timestamp)
+
+
+def iter_edges_from_text(lines: Iterable[str], *, delimiter: Optional[str] = None
+                         ) -> Iterator[StreamEdge]:
+    """Yield edges from an iterable of text lines.
+
+    Parameters
+    ----------
+    lines:
+        Any iterable of strings (an open file, a list in tests, ...).
+    delimiter:
+        Field separator.  ``None`` (the default) splits on arbitrary
+        whitespace; pass ``","`` for CSV exports.
+    """
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(("%", "#")):
+            continue
+        fields = line.split(delimiter) if delimiter else line.split()
+        yield _parse_line([f.strip() for f in fields if f.strip() != ""], line_no)
+
+
+def read_stream(path: str | Path, *, delimiter: Optional[str] = None,
+                sort_by_time: bool = True, name: Optional[str] = None) -> GraphStream:
+    """Load a graph stream from a text/CSV file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    delimiter:
+        Field separator; ``None`` means whitespace.
+    sort_by_time:
+        Sort items by timestamp after loading (stream replays assume
+        non-decreasing time).
+    name:
+        Stream name; defaults to the file stem.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"stream file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        edges = list(iter_edges_from_text(handle, delimiter=delimiter))
+    if not edges:
+        raise DatasetError(f"stream file {path} contains no edges")
+    return GraphStream(edges, sort_by_time=sort_by_time, name=name or path.stem)
+
+
+def write_stream(stream: GraphStream, path: str | Path, *,
+                 delimiter: str = " ") -> None:
+    """Write a stream to disk in ``src dst weight timestamp`` format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        for edge in stream:
+            writer.writerow([edge.source, edge.destination, edge.weight,
+                             edge.timestamp])

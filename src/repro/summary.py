@@ -1,0 +1,101 @@
+"""Abstract interface shared by HIGGS and every baseline summary.
+
+The experiment harness treats all summaries uniformly through this interface:
+items are inserted with :meth:`insert`, temporal range queries are answered
+with :meth:`edge_query` / :meth:`vertex_query`, and composite path/subgraph
+queries have default implementations that decompose into edge queries exactly
+as the paper describes (Section III).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence, Tuple
+
+from .errors import QueryError
+from .streams.edge import GraphStream, StreamEdge, Vertex
+
+
+class TemporalGraphSummary(ABC):
+    """A summary of a graph stream supporting temporal range queries."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "summary"
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def insert(self, source: Vertex, destination: Vertex, weight: float,
+               timestamp: int) -> None:
+        """Insert one stream item ``(source, destination, weight, timestamp)``."""
+
+    def delete(self, source: Vertex, destination: Vertex, weight: float,
+               timestamp: int) -> None:
+        """Remove ``weight`` from a previously inserted item.
+
+        The default implementation inserts a negative weight, which is the
+        standard count-min-style deletion; structures with explicit entry
+        lookup override this.
+        """
+        self.insert(source, destination, -weight, timestamp)
+
+    def insert_stream(self, stream: GraphStream | Iterable[StreamEdge]) -> None:
+        """Insert every item of a stream in order."""
+        for edge in stream:
+            self.insert(edge.source, edge.destination, edge.weight, edge.timestamp)
+
+    # ------------------------------------------------------------------ #
+    # temporal range query primitives
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def edge_query(self, source: Vertex, destination: Vertex,
+                   t_start: int, t_end: int) -> float:
+        """Estimated aggregated weight of edge ``source → destination`` in
+        ``[t_start, t_end]`` (paper Definition 2)."""
+
+    @abstractmethod
+    def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
+                     direction: str = "out") -> float:
+        """Estimated aggregated weight of all outgoing (``"out"``) or incoming
+        (``"in"``) edges of ``vertex`` in ``[t_start, t_end]``."""
+
+    # ------------------------------------------------------------------ #
+    # composite queries (defaults per Section III)
+    # ------------------------------------------------------------------ #
+
+    def path_query(self, path: Sequence[Vertex], t_start: int, t_end: int) -> float:
+        """Aggregated weight along a vertex path: the sum of the edge queries
+        of every consecutive pair."""
+        if len(path) < 2:
+            raise QueryError("a path query needs at least two vertices")
+        total = 0.0
+        for src, dst in zip(path[:-1], path[1:]):
+            total += self.edge_query(src, dst, t_start, t_end)
+        return total
+
+    def subgraph_query(self, edges: Sequence[Tuple[Vertex, Vertex]],
+                       t_start: int, t_end: int) -> float:
+        """Aggregated weight of a set of edges: the sum of their edge queries."""
+        if not edges:
+            raise QueryError("a subgraph query needs at least one edge")
+        total = 0.0
+        for src, dst in edges:
+            total += self.edge_query(src, dst, t_start, t_end)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Analytic memory footprint of the summary, in bytes."""
+
+    @staticmethod
+    def check_range(t_start: int, t_end: int) -> None:
+        """Validate a temporal range, raising :class:`QueryError` if inverted."""
+        if t_end < t_start:
+            raise QueryError(f"inverted temporal range [{t_start}, {t_end}]")

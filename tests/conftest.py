@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactTemporalGraph
+from repro.streams.edge import GraphStream, StreamEdge
+from repro.streams.generators import StreamSpec, generate_stream
+
+
+@pytest.fixture(scope="session")
+def small_stream() -> GraphStream:
+    """A deterministic ~2000-item synthetic stream shared across tests."""
+    spec = StreamSpec(num_vertices=120, num_edges=2_000, time_span=2_000,
+                      skewness=2.0, arrival_variance=500.0, seed=9,
+                      name="test-small")
+    return generate_stream(spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream() -> GraphStream:
+    """A hand-written 12-item stream with known aggregates (paper Fig. 5 style)."""
+    edges = [
+        ("v1", "v2", 1.0, 1),
+        ("v4", "v5", 1.0, 2),
+        ("v2", "v3", 2.0, 3),
+        ("v3", "v7", 1.0, 3),
+        ("v4", "v6", 3.0, 5),
+        ("v2", "v3", 1.0, 6),
+        ("v3", "v7", 2.0, 7),
+        ("v4", "v7", 2.0, 8),
+        ("v2", "v3", 2.0, 9),
+        ("v1", "v2", 2.0, 10),
+        ("v5", "v6", 1.0, 11),
+        ("v2", "v4", 4.0, 11),
+    ]
+    return GraphStream([StreamEdge(*edge) for edge in edges], name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_stream: GraphStream) -> ExactTemporalGraph:
+    """Exact ground truth for :func:`small_stream`."""
+    truth = ExactTemporalGraph()
+    truth.insert_stream(small_stream)
+    return truth
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A per-test deterministic PRNG."""
+    return random.Random(1234)

@@ -1,0 +1,144 @@
+"""Tests for the bit-shift aggregation of child matrices (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (aggregate_internal, aggregate_leaves,
+                                    build_parent_matrix, lift_coordinates)
+from repro.core.config import HiggsConfig
+from repro.core.hashing import VertexHasher
+from repro.core.node import LeafNode
+
+
+@pytest.fixture()
+def config() -> HiggsConfig:
+    return HiggsConfig(leaf_matrix_size=8, fingerprint_bits=10, num_probes=2)
+
+
+def _fill_leaf(index: int, config: HiggsConfig, hasher: VertexHasher,
+               items) -> LeafNode:
+    leaf = LeafNode(index, config)
+    for source, destination, weight, timestamp in items:
+        fs, hs = hasher.split(source)
+        fd, hd = hasher.split(destination)
+        assert leaf.matrix.insert(fs, fd, hs, hd, weight, timestamp)
+    return leaf
+
+
+class TestLiftCoordinates:
+    def test_identity_at_same_level(self, config):
+        assert lift_coordinates(5, 3, 1, 1, config) == (5, 3)
+
+    def test_single_level_lift_matches_formula(self, config):
+        fingerprint, address = 0b1011001100, 5
+        lifted_fp, lifted_addr = lift_coordinates(fingerprint, address, 1, 2, config)
+        # One bit (R=1) moves from the top of the fingerprint to the address.
+        assert lifted_addr == (address << 1) | (fingerprint >> 9)
+        assert lifted_fp == fingerprint & ((1 << 9) - 1)
+
+    def test_multi_level_lift_is_composition(self, config):
+        fingerprint, address = 0b1010101010, 7
+        step1 = lift_coordinates(fingerprint, address, 1, 2, config)
+        step2 = lift_coordinates(*step1, 2, 3, config)
+        direct = lift_coordinates(fingerprint, address, 1, 3, config)
+        assert step2 == direct
+
+    def test_lift_clamps_when_fingerprint_exhausted(self):
+        config = HiggsConfig(leaf_matrix_size=8, fingerprint_bits=2)
+        # Lifting far beyond the available bits must not raise.
+        fingerprint, address = 0b11, 3
+        lifted = lift_coordinates(fingerprint, address, 1, 6, config)
+        assert lifted[0] >= 0 and lifted[1] >= 0
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 7))
+    @settings(max_examples=100)
+    def test_lifted_address_in_parent_range(self, fingerprint, address):
+        config = HiggsConfig(leaf_matrix_size=8, fingerprint_bits=10)
+        _, lifted_addr = lift_coordinates(fingerprint, address, 1, 3, config)
+        assert 0 <= lifted_addr < config.matrix_size_at(3)
+
+
+class TestAggregateLeaves:
+    def test_parent_preserves_per_edge_totals(self, config):
+        hasher = VertexHasher(config.fingerprint_bits, config.leaf_matrix_size)
+        items_per_leaf = [
+            [("a", "b", 1.0, 1), ("a", "c", 2.0, 2)],
+            [("a", "b", 3.0, 5), ("d", "c", 1.0, 6)],
+            [("e", "f", 4.0, 9)],
+            [("a", "b", 1.0, 12), ("e", "f", 2.0, 13)],
+        ]
+        leaves = [_fill_leaf(i, config, hasher, items)
+                  for i, items in enumerate(items_per_leaf)]
+        node = aggregate_leaves(0, leaves, config)
+
+        def parent_estimate(source, destination):
+            fs, hs = hasher.split(source)
+            fd, hd = hasher.split(destination)
+            lifted_fs, lifted_hs = lift_coordinates(fs, hs, 1, 2, config)
+            lifted_fd, lifted_hd = lift_coordinates(fd, hd, 1, 2, config)
+            return node.query_edge(lifted_fs, lifted_fd, lifted_hs, lifted_hd)
+
+        assert parent_estimate("a", "b") >= 5.0
+        assert parent_estimate("a", "c") >= 2.0
+        assert parent_estimate("e", "f") >= 6.0
+        assert parent_estimate("d", "c") >= 1.0
+
+    def test_parent_time_range_and_keys(self, config):
+        hasher = VertexHasher(config.fingerprint_bits, config.leaf_matrix_size)
+        leaves = [
+            _fill_leaf(0, config, hasher, [("a", "b", 1.0, 1)]),
+            _fill_leaf(1, config, hasher, [("a", "b", 1.0, 8)]),
+            _fill_leaf(2, config, hasher, [("a", "b", 1.0, 15)]),
+            _fill_leaf(3, config, hasher, [("a", "b", 1.0, 22)]),
+        ]
+        node = aggregate_leaves(0, leaves, config)
+        assert node.t_min == 1
+        assert node.t_max == 22
+        assert node.keys == [8, 15, 22]
+        assert node.level == 2
+
+    def test_aggregation_includes_overflow_blocks(self, config):
+        hasher = VertexHasher(config.fingerprint_bits, config.leaf_matrix_size)
+        leaf = _fill_leaf(0, config, hasher, [("a", "b", 1.0, 4)])
+        from repro.core.matrix import CompressedMatrix
+        block = CompressedMatrix(config.leaf_matrix_size, 1,
+                                 num_probes=config.num_probes,
+                                 store_timestamps=True)
+        fs, hs = hasher.split("a")
+        fd, hd = hasher.split("b")
+        block.insert(fs, fd, hs, hd, 7.0, timestamp=4)
+        leaf.overflow_blocks.append(block)
+        node = aggregate_leaves(0, [leaf], config)
+        lifted_fs, lifted_hs = lift_coordinates(fs, hs, 1, 2, config)
+        lifted_fd, lifted_hd = lift_coordinates(fd, hd, 1, 2, config)
+        assert node.query_edge(lifted_fs, lifted_fd, lifted_hs, lifted_hd) >= 8.0
+
+
+class TestAggregateInternal:
+    def test_two_stage_aggregation_preserves_totals(self, config):
+        hasher = VertexHasher(config.fingerprint_bits, config.leaf_matrix_size)
+        level2_nodes = []
+        for group in range(4):
+            leaves = [
+                _fill_leaf(group * 4 + i, config, hasher,
+                           [("a", "b", 1.0, group * 40 + i * 10 + 1)])
+                for i in range(4)
+            ]
+            level2_nodes.append(aggregate_leaves(group, leaves, config))
+        level3 = aggregate_internal(0, level2_nodes, config)
+        assert level3.level == 3
+        fs, hs = hasher.split("a")
+        fd, hd = hasher.split("b")
+        lifted_fs, lifted_hs = lift_coordinates(fs, hs, 1, 3, config)
+        lifted_fd, lifted_hd = lift_coordinates(fd, hd, 1, 3, config)
+        assert level3.query_edge(lifted_fs, lifted_fd, lifted_hs, lifted_hd) >= 16.0
+        assert level3.t_min == 1
+        assert level3.t_max == 151
+
+    def test_build_parent_matrix_dimensions(self, config):
+        assert build_parent_matrix(2, config).size == config.matrix_size_at(2)
+        assert build_parent_matrix(3, config).size == config.matrix_size_at(3)
+        assert not build_parent_matrix(2, config).store_timestamps

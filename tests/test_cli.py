@@ -1,0 +1,67 @@
+"""Tests for the experiment-harness command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.errors import BenchmarkError
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig10"])
+        assert args.experiment == "fig10"
+        assert args.scale == 0.1
+        assert args.results_dir == "results"
+        assert not args.no_save
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRegistry:
+    def test_every_paper_experiment_is_registered(self):
+        expected = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig18", "fig19", "fig20a",
+                    "fig20b", "fig21"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(BenchmarkError):
+            run_experiment("fig99", scale=0.01, results_dir=str(tmp_path))
+
+
+class TestExecution:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_run_single_experiment_saves_results(self, tmp_path, capsys):
+        code = main(["run", "table2", "--scale", "0.02",
+                     "--results-dir", str(tmp_path)])
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+        saved = json.loads((tmp_path / "table2_datasets.json").read_text())
+        assert len(saved) == 3
+
+    def test_run_with_no_save_writes_nothing(self, tmp_path, capsys):
+        code = main(["run", "fig2", "--scale", "0.02",
+                     "--results-dir", str(tmp_path), "--no-save"])
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_unknown_experiment_returns_error_code(self, tmp_path, capsys):
+        code = main(["run", "fig99", "--results-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

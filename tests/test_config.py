@@ -1,0 +1,96 @@
+"""Tests for :class:`repro.core.config.HiggsConfig`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HiggsConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_match_paper_setup(self):
+        config = HiggsConfig()
+        assert config.leaf_matrix_size == 16
+        assert config.bucket_entries == 3
+        assert config.fingerprint_bits == 19
+        assert config.fanout == 4
+        assert config.num_probes == 4
+
+    @pytest.mark.parametrize("size", [3, 5, 6, 7, 9, 15])
+    def test_non_power_of_two_leaf_size_rejected(self, size):
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(leaf_matrix_size=size)
+
+    @pytest.mark.parametrize("fanout", [2, 3, 5, 8, 12])
+    def test_non_power_of_four_fanout_rejected(self, fanout):
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(fanout=fanout)
+
+    @pytest.mark.parametrize("fanout", [4, 16, 64])
+    def test_power_of_four_fanout_accepted(self, fanout):
+        assert HiggsConfig(fanout=fanout).fanout == fanout
+
+    def test_bucket_entries_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(bucket_entries=0)
+
+    def test_fingerprint_bits_bounds(self):
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(fingerprint_bits=0)
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(fingerprint_bits=60)
+
+    def test_num_probes_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(num_probes=0)
+
+    def test_overflow_block_entries_validated(self):
+        with pytest.raises(ConfigurationError):
+            HiggsConfig(overflow_block_entries=0)
+
+
+class TestDerivedParameters:
+    def test_shift_bits_from_fanout(self):
+        assert HiggsConfig(fanout=4).shift_bits == 1
+        assert HiggsConfig(fanout=16).shift_bits == 2
+        assert HiggsConfig(fanout=64).shift_bits == 3
+
+    def test_fingerprint_bits_decrease_per_level(self):
+        config = HiggsConfig(fingerprint_bits=10, fanout=4)
+        assert config.fingerprint_bits_at(1) == 10
+        assert config.fingerprint_bits_at(2) == 9
+        assert config.fingerprint_bits_at(5) == 6
+
+    def test_fingerprint_bits_clamped_at_zero(self):
+        config = HiggsConfig(fingerprint_bits=2, fanout=4)
+        assert config.fingerprint_bits_at(10) == 0
+
+    def test_matrix_size_grows_by_sqrt_fanout(self):
+        config = HiggsConfig(leaf_matrix_size=16, fanout=4, fingerprint_bits=19)
+        assert config.matrix_size_at(1) == 16
+        assert config.matrix_size_at(2) == 32
+        assert config.matrix_size_at(3) == 64
+
+    def test_matrix_size_with_fanout_16(self):
+        config = HiggsConfig(leaf_matrix_size=8, fanout=16, fingerprint_bits=12)
+        assert config.matrix_size_at(2) == 32
+        assert config.matrix_size_at(3) == 128
+
+    def test_level_must_be_positive(self):
+        config = HiggsConfig()
+        with pytest.raises(ConfigurationError):
+            config.fingerprint_bits_at(0)
+        with pytest.raises(ConfigurationError):
+            config.matrix_size_at(0)
+
+    def test_entry_bytes_positive_and_leaf_larger_than_internal(self):
+        config = HiggsConfig()
+        assert config.leaf_entry_bytes() > 0
+        assert config.internal_entry_bytes(2) > 0
+        # Leaf entries additionally store a timestamp.
+        assert config.leaf_entry_bytes() >= config.internal_entry_bytes(2)
+
+    def test_internal_entry_bytes_shrink_with_level(self):
+        config = HiggsConfig(fingerprint_bits=19)
+        assert config.internal_entry_bytes(2) >= config.internal_entry_bytes(8)

@@ -1,0 +1,106 @@
+"""Tests for the Count-Min sketch and the TCM graph sketch substrates."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.tcm import TCM
+from repro.errors import ConfigurationError
+
+
+class TestCountMin:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=8, depth=0)
+
+    def test_estimate_at_least_true_count(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        truth = defaultdict(float)
+        for i in range(300):
+            item = f"item-{i % 40}"
+            sketch.update(item, 2.0)
+            truth[item] += 2.0
+        for item, expected in truth.items():
+            assert sketch.estimate(item) >= expected
+
+    def test_exact_when_wide_enough(self):
+        sketch = CountMinSketch(width=4096, depth=4)
+        for i in range(50):
+            sketch.update(f"item-{i}", float(i + 1))
+        for i in range(50):
+            assert sketch.estimate(f"item-{i}") == pytest.approx(float(i + 1))
+
+    def test_remove_reverses_update(self):
+        sketch = CountMinSketch(width=128, depth=3)
+        sketch.update("x", 5.0)
+        sketch.remove("x", 3.0)
+        assert sketch.estimate("x") >= 2.0
+
+    def test_memory_and_total_weight(self):
+        sketch = CountMinSketch(width=100, depth=2, counter_bytes=4)
+        assert sketch.memory_bytes() == 100 * 2 * 4
+        sketch.update("a", 3.0)
+        sketch.update("b", 2.0)
+        assert sketch.total_weight == pytest.approx(5.0)
+        assert sketch.row_values(0).sum() == pytest.approx(5.0)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 5)),
+                    min_size=1, max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_property_one_sided(self, updates):
+        sketch = CountMinSketch(width=32, depth=3)
+        truth = defaultdict(float)
+        for key, weight in updates:
+            sketch.update(key, float(weight))
+            truth[key] += weight
+        for key, expected in truth.items():
+            assert sketch.estimate(key) >= expected - 1e-9
+
+
+class TestTCM:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TCM(width=0)
+        with pytest.raises(ConfigurationError):
+            TCM(width=8, depth=0)
+
+    def test_edge_query_one_sided_and_exact_when_wide(self):
+        tcm = TCM(width=256, depth=3)
+        truth = defaultdict(float)
+        for i in range(200):
+            source, destination = f"s{i % 20}", f"d{i % 13}"
+            tcm.insert(source, destination, 1.0)
+            truth[(source, destination)] += 1.0
+        for (source, destination), expected in truth.items():
+            assert tcm.edge_query(source, destination) >= expected
+
+    def test_vertex_query_aggregates_row(self):
+        tcm = TCM(width=128, depth=2)
+        tcm.insert("a", "b", 1.0)
+        tcm.insert("a", "c", 2.0)
+        tcm.insert("d", "a", 4.0)
+        assert tcm.vertex_query("a") >= 3.0
+        assert tcm.vertex_query("a", direction="in") >= 4.0
+
+    def test_delete_subtracts(self):
+        tcm = TCM(width=128, depth=2)
+        tcm.insert("a", "b", 5.0)
+        tcm.delete("a", "b", 2.0)
+        assert tcm.edge_query("a", "b") >= 3.0 - 1e-9
+
+    def test_memory_formula(self):
+        tcm = TCM(width=64, depth=3, counter_bytes=4)
+        assert tcm.memory_bytes() == 3 * 64 * 64 * 4
+
+    def test_absent_edge_small_estimate(self):
+        tcm = TCM(width=512, depth=3)
+        for i in range(100):
+            tcm.insert(f"s{i}", f"d{i}", 1.0)
+        assert tcm.edge_query("never", "seen") <= 2.0

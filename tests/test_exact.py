@@ -1,0 +1,80 @@
+"""Tests for the exact temporal graph store (the evaluation ground truth)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactTemporalGraph
+from repro.errors import QueryError
+
+
+class TestExactTemporalGraph:
+    def test_edge_query_matches_manual_sum(self):
+        store = ExactTemporalGraph()
+        store.insert("a", "b", 1.0, 5)
+        store.insert("a", "b", 2.0, 10)
+        store.insert("a", "b", 4.0, 15)
+        assert store.edge_query("a", "b", 0, 20) == 7.0
+        assert store.edge_query("a", "b", 6, 14) == 2.0
+        assert store.edge_query("a", "b", 16, 20) == 0.0
+        assert store.edge_query("b", "a", 0, 20) == 0.0
+
+    def test_vertex_query_both_directions(self):
+        store = ExactTemporalGraph()
+        store.insert("a", "b", 1.0, 1)
+        store.insert("a", "c", 2.0, 2)
+        store.insert("d", "a", 5.0, 3)
+        assert store.vertex_query("a", 0, 10) == 3.0
+        assert store.vertex_query("a", 0, 10, direction="in") == 5.0
+        assert store.vertex_query("a", 2, 10) == 2.0
+
+    def test_unsorted_insert_order_supported(self):
+        store = ExactTemporalGraph()
+        for timestamp in (30, 10, 20, 5):
+            store.insert("x", "y", 1.0, timestamp)
+        assert store.edge_query("x", "y", 0, 15) == 2.0
+        assert store.edge_query("x", "y", 0, 40) == 4.0
+
+    def test_delete_subtracts(self):
+        store = ExactTemporalGraph()
+        store.insert("a", "b", 3.0, 1)
+        store.delete("a", "b", 1.0, 1)
+        assert store.edge_query("a", "b", 0, 5) == 2.0
+
+    def test_inverted_range_rejected(self):
+        store = ExactTemporalGraph()
+        with pytest.raises(QueryError):
+            store.edge_query("a", "b", 5, 1)
+
+    def test_memory_and_item_count_grow(self):
+        store = ExactTemporalGraph()
+        assert store.memory_bytes() >= 0
+        for i in range(50):
+            store.insert(f"s{i}", f"d{i}", 1.0, i)
+        assert store.item_count == 50
+        assert store.memory_bytes() > 0
+
+    def test_against_brute_force_on_random_items(self, rng):
+        store = ExactTemporalGraph()
+        items = []
+        for _ in range(400):
+            item = (f"s{rng.randint(0, 15)}", f"d{rng.randint(0, 15)}",
+                    float(rng.randint(1, 5)), rng.randint(0, 200))
+            items.append(item)
+            store.insert(*item)
+        for _ in range(30):
+            t_start = rng.randint(0, 200)
+            t_end = rng.randint(t_start, 200)
+            source = f"s{rng.randint(0, 15)}"
+            destination = f"d{rng.randint(0, 15)}"
+            expected_edge = sum(w for s, d, w, t in items
+                                if s == source and d == destination
+                                and t_start <= t <= t_end)
+            expected_out = sum(w for s, _d, w, t in items
+                               if s == source and t_start <= t <= t_end)
+            assert store.edge_query(source, destination, t_start, t_end) == \
+                pytest.approx(expected_edge)
+            assert store.vertex_query(source, t_start, t_end) == \
+                pytest.approx(expected_out)

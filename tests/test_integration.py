@@ -1,0 +1,116 @@
+"""Cross-module integration tests: datasets → summaries → workloads → metrics.
+
+These tests exercise the same pipeline as the benchmark harness, end to end,
+at a miniature scale, and assert the paper's qualitative claims that are
+stable even at that scale (one-sided error, aggregation exactness, structural
+scaling, ordering of space costs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Higgs, HiggsConfig
+from repro.baselines import ExactTemporalGraph, Horae, PGSS
+from repro.bench.methods import make_methods, scaled_higgs_config
+from repro.queries import QueryWorkloadGenerator, evaluate_queries
+from repro.streams import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("lkml", scale=0.03)
+
+
+@pytest.fixture(scope="module")
+def dataset_truth(dataset):
+    truth = ExactTemporalGraph()
+    truth.insert_stream(dataset)
+    return truth
+
+
+class TestHiggsOnDatasetAnalogue:
+    def test_higgs_answers_all_primitives_one_sided(self, dataset, dataset_truth):
+        summary = Higgs(scaled_higgs_config(len(dataset)))
+        summary.insert_stream(dataset)
+        workload = QueryWorkloadGenerator(dataset)
+        queries = (workload.edge_queries(60, 200)
+                   + workload.vertex_queries(15, 200)
+                   + workload.path_queries(10, 3, 200)
+                   + workload.subgraph_queries(5, 8, 200))
+        result = evaluate_queries(summary, queries, dataset_truth)
+        assert result.accuracy.underestimates == 0
+        assert result.total_queries == 90
+
+    def test_structure_scales_with_stream_length(self, dataset):
+        config = HiggsConfig(leaf_matrix_size=8, fingerprint_bits=14)
+        half = Higgs(config)
+        full = Higgs(config)
+        midpoint = len(dataset) // 2
+        for edge in list(dataset.edges)[:midpoint]:
+            half.insert(edge.source, edge.destination, edge.weight, edge.timestamp)
+        full.insert_stream(dataset)
+        assert full.leaf_count > half.leaf_count
+        assert full.memory_bytes() > half.memory_bytes()
+        assert full.height >= half.height
+
+    def test_aggregated_and_leaf_paths_agree_on_full_range(self, dataset,
+                                                           dataset_truth):
+        """A full-span query (answered mostly from aggregates) must equal the
+        sum of two half-span queries (answered mostly from leaves)."""
+        summary = Higgs(HiggsConfig(fingerprint_bits=22))
+        summary.insert_stream(dataset)
+        t_min, t_max = dataset.time_span
+        middle = (t_min + t_max) // 2
+        for source, destination in sorted(dataset.distinct_edges())[:40]:
+            full = summary.edge_query(source, destination, t_min, t_max)
+            split = (summary.edge_query(source, destination, t_min, middle)
+                     + summary.edge_query(source, destination, middle + 1, t_max))
+            assert full == pytest.approx(split)
+            assert full == pytest.approx(
+                dataset_truth.edge_query(source, destination, t_min, t_max))
+
+
+class TestMethodComparisonPipeline:
+    def test_all_methods_are_one_sided_on_the_same_workload(self, dataset,
+                                                            dataset_truth):
+        workload = QueryWorkloadGenerator(dataset)
+        queries = workload.edge_queries(50, 300)
+        for name, summary in make_methods(dataset).items():
+            summary.insert_stream(dataset)
+            result = evaluate_queries(summary, queries, dataset_truth)
+            assert result.accuracy.underestimates == 0, name
+
+    def test_higgs_memory_below_full_multilayer_baselines(self, dataset):
+        methods = make_methods(dataset, include=["HIGGS", "Horae", "AuxoTime"])
+        for summary in methods.values():
+            summary.insert_stream(dataset)
+        assert methods["HIGGS"].memory_bytes() < methods["Horae"].memory_bytes()
+        assert methods["HIGGS"].memory_bytes() < methods["AuxoTime"].memory_bytes()
+
+    def test_pgss_less_accurate_than_higgs_on_wide_ranges(self, dataset,
+                                                          dataset_truth):
+        higgs = Higgs(scaled_higgs_config(len(dataset)))
+        t_min, t_max = dataset.time_span
+        pgss = PGSS(expected_items=len(dataset), time_span=t_max - t_min + 1)
+        higgs.insert_stream(dataset)
+        pgss.insert_stream(dataset)
+        workload = QueryWorkloadGenerator(dataset)
+        queries = workload.edge_queries(80, t_max - t_min + 1)
+        higgs_result = evaluate_queries(higgs, queries, dataset_truth)
+        pgss_result = evaluate_queries(pgss, queries, dataset_truth)
+        assert higgs_result.aae <= pgss_result.aae + 1e-9
+
+
+class TestHoraeDecompositionConsistency:
+    def test_horae_full_range_equals_subrange_sum(self, dataset, dataset_truth):
+        t_min, t_max = dataset.time_span
+        horae = Horae(expected_items=len(dataset), time_span=t_max - t_min + 1,
+                      fingerprint_bits=16)
+        horae.insert_stream(dataset)
+        middle = (t_min + t_max) // 2
+        for source, destination in sorted(dataset.distinct_edges())[:30]:
+            full = horae.edge_query(source, destination, t_min, t_max)
+            split = (horae.edge_query(source, destination, t_min, middle)
+                     + horae.edge_query(source, destination, middle + 1, t_max))
+            assert full == pytest.approx(split)

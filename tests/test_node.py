@@ -1,0 +1,117 @@
+"""Tests for HIGGS tree nodes (leaves and internal nodes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HiggsConfig
+from repro.core.hashing import VertexHasher
+from repro.core.matrix import CompressedMatrix
+from repro.core.node import InternalNode, LeafNode
+
+
+@pytest.fixture()
+def config() -> HiggsConfig:
+    return HiggsConfig(leaf_matrix_size=8, fingerprint_bits=10)
+
+
+@pytest.fixture()
+def hasher(config) -> VertexHasher:
+    return VertexHasher(config.fingerprint_bits, config.leaf_matrix_size)
+
+
+class TestLeafNode:
+    def test_empty_leaf_has_no_time_range(self, config):
+        leaf = LeafNode(0, config)
+        assert leaf.t_min is None
+        assert leaf.t_max is None
+        assert not leaf.overlaps(0, 100)
+        assert leaf.entry_count() == 0
+
+    def test_time_range_tracks_inserts(self, config, hasher):
+        leaf = LeafNode(0, config)
+        fs, hs = hasher.split("a")
+        fd, hd = hasher.split("b")
+        leaf.matrix.insert(fs, fd, hs, hd, 1.0, timestamp=20)
+        leaf.matrix.insert(fs, fd, hs, hd, 1.0, timestamp=5)
+        assert leaf.t_min == 5
+        assert leaf.t_max == 20
+        assert leaf.overlaps(0, 10)
+        assert leaf.overlaps(20, 30)
+        assert not leaf.overlaps(21, 30)
+
+    def test_overflow_blocks_extend_time_range_and_counts(self, config, hasher):
+        leaf = LeafNode(0, config)
+        fs, hs = hasher.split("a")
+        fd, hd = hasher.split("b")
+        leaf.matrix.insert(fs, fd, hs, hd, 1.0, timestamp=10)
+        block = CompressedMatrix(config.leaf_matrix_size, 1,
+                                 num_probes=config.num_probes,
+                                 store_timestamps=True)
+        block.insert(fs, fd, hs, hd, 1.0, timestamp=42)
+        leaf.overflow_blocks.append(block)
+        assert leaf.t_max == 42
+        assert leaf.entry_count() == 2
+        assert len(leaf.matrices()) == 2
+
+    def test_memory_includes_overflow_blocks(self, config):
+        leaf = LeafNode(0, config)
+        base = leaf.memory_bytes(config)
+        leaf.overflow_blocks.append(
+            CompressedMatrix(config.leaf_matrix_size, 1,
+                             entry_bytes=config.leaf_entry_bytes()))
+        assert leaf.memory_bytes(config) > base
+
+
+class TestInternalNode:
+    def _node(self, config) -> InternalNode:
+        matrix = CompressedMatrix(16, config.bucket_entries,
+                                  num_probes=config.num_probes,
+                                  store_timestamps=False)
+        return InternalNode(level=2, index=0, matrix=matrix, keys=[10, 20],
+                            t_min=0, t_max=30)
+
+    def test_covered_and_overlap_semantics(self, config):
+        node = self._node(config)
+        assert node.covered_by(0, 30)
+        assert node.covered_by(-5, 100)
+        assert not node.covered_by(1, 30)
+        assert node.overlaps(25, 60)
+        assert not node.overlaps(31, 60)
+
+    def test_edge_query_combines_matrix_and_overflow(self, config):
+        node = self._node(config)
+        node.matrix.insert(3, 4, 1, 2, 5.0)
+        node.add_overflow(3, 4, 1, 2, 2.0)
+        assert node.query_edge(3, 4, 1, 2) == 7.0
+        assert node.query_edge(3, 5, 1, 2) == 0.0
+
+    def test_vertex_query_combines_matrix_and_overflow(self, config):
+        node = self._node(config)
+        node.matrix.insert(3, 4, 1, 2, 5.0)
+        node.add_overflow(3, 9, 1, 7, 2.0)
+        node.add_overflow(8, 4, 6, 2, 1.0)
+        assert node.query_vertex(3, 1, direction="out") == 7.0
+        assert node.query_vertex(4, 2, direction="in") == 6.0
+
+    def test_overflow_accumulates_same_key(self, config):
+        node = self._node(config)
+        node.add_overflow(1, 2, 3, 4, 1.0)
+        node.add_overflow(1, 2, 3, 4, 2.5)
+        assert node.overflow[(1, 2, 3, 4)] == 3.5
+
+    def test_decrement_prefers_matrix_then_overflow(self, config):
+        node = self._node(config)
+        node.matrix.insert(3, 4, 1, 2, 5.0)
+        node.add_overflow(6, 7, 0, 0, 4.0)
+        assert node.decrement(3, 4, 1, 2, 2.0)
+        assert node.query_edge(3, 4, 1, 2) == 3.0
+        assert node.decrement(6, 7, 0, 0, 1.0)
+        assert node.overflow[(6, 7, 0, 0)] == 3.0
+        assert not node.decrement(9, 9, 9, 9, 1.0)
+
+    def test_memory_counts_keys_and_overflow(self, config):
+        node = self._node(config)
+        base = node.memory_bytes(config)
+        node.add_overflow(1, 2, 3, 4, 1.0)
+        assert node.memory_bytes(config) > base

@@ -1,0 +1,48 @@
+"""Tests for the pipelined / batched insertion paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Higgs, HiggsConfig
+from repro.core.parallel import PipelinedInserter, insert_stream_parallel
+
+
+def _config() -> HiggsConfig:
+    return HiggsConfig(leaf_matrix_size=8, fingerprint_bits=18)
+
+
+class TestPipelinedInserter:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedInserter(Higgs(_config()), mode="warp-drive")
+
+    @pytest.mark.parametrize("mode", ["serial", "batched", "threaded"])
+    def test_all_modes_insert_every_item(self, mode, small_stream):
+        summary = Higgs(_config())
+        inserted = PipelinedInserter(summary, mode=mode).insert_stream(small_stream)
+        assert inserted == len(small_stream)
+        assert summary.tree.items_inserted == len(small_stream)
+
+    @pytest.mark.parametrize("mode", ["batched", "threaded"])
+    def test_modes_build_equivalent_structures(self, mode, small_stream, small_truth):
+        serial = Higgs(_config())
+        serial.insert_stream(small_stream)
+        other = Higgs(_config())
+        insert_stream_parallel(other, small_stream, mode=mode)
+
+        assert other.leaf_count == serial.leaf_count
+        assert other.height == serial.height
+        t_min, t_max = small_stream.time_span
+        for source, destination in sorted(small_stream.distinct_edges())[:50]:
+            assert other.edge_query(source, destination, t_min, t_max) == \
+                pytest.approx(serial.edge_query(source, destination, t_min, t_max))
+
+    def test_batched_respects_batch_size(self, small_stream):
+        summary = Higgs(_config())
+        inserter = PipelinedInserter(summary, mode="batched", batch_size=17)
+        assert inserter.insert_stream(small_stream) == len(small_stream)
+
+    def test_batch_size_clamped_to_one(self):
+        inserter = PipelinedInserter(Higgs(_config()), mode="batched", batch_size=0)
+        assert inserter.batch_size == 1

@@ -1,0 +1,79 @@
+"""Tests for the shared :class:`TemporalGraphSummary` interface defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.streams.edge import GraphStream, StreamEdge
+from repro.summary import TemporalGraphSummary
+
+
+class _DictSummary(TemporalGraphSummary):
+    """Minimal exact implementation used to exercise the interface defaults."""
+
+    name = "dict-summary"
+
+    def __init__(self):
+        self.items = []
+
+    def insert(self, source, destination, weight, timestamp):
+        self.items.append((source, destination, weight, timestamp))
+
+    def edge_query(self, source, destination, t_start, t_end):
+        self.check_range(t_start, t_end)
+        return sum(w for s, d, w, t in self.items
+                   if s == source and d == destination and t_start <= t <= t_end)
+
+    def vertex_query(self, vertex, t_start, t_end, direction="out"):
+        self.check_range(t_start, t_end)
+        if direction == "out":
+            return sum(w for s, _d, w, t in self.items
+                       if s == vertex and t_start <= t <= t_end)
+        return sum(w for _s, d, w, t in self.items
+                   if d == vertex and t_start <= t <= t_end)
+
+    def memory_bytes(self):
+        return len(self.items) * 32
+
+
+@pytest.fixture()
+def summary() -> _DictSummary:
+    s = _DictSummary()
+    s.insert("a", "b", 1.0, 1)
+    s.insert("b", "c", 2.0, 2)
+    s.insert("c", "d", 3.0, 3)
+    s.insert("a", "b", 4.0, 9)
+    return s
+
+
+class TestDefaults:
+    def test_default_delete_inserts_negative_weight(self, summary):
+        summary.delete("a", "b", 1.0, 1)
+        assert summary.edge_query("a", "b", 0, 5) == 0.0
+
+    def test_insert_stream_accepts_graphstream_and_iterables(self):
+        edges = [StreamEdge("x", "y", 1.0, 0), StreamEdge("y", "z", 1.0, 1)]
+        s1, s2 = _DictSummary(), _DictSummary()
+        s1.insert_stream(GraphStream(edges))
+        s2.insert_stream(iter(edges))
+        assert s1.items == s2.items
+
+    def test_path_query_default(self, summary):
+        assert summary.path_query(["a", "b", "c", "d"], 0, 5) == 6.0
+
+    def test_path_query_requires_two_vertices(self, summary):
+        with pytest.raises(QueryError):
+            summary.path_query(["a"], 0, 5)
+
+    def test_subgraph_query_default(self, summary):
+        assert summary.subgraph_query([("a", "b"), ("c", "d")], 0, 5) == 4.0
+
+    def test_subgraph_query_requires_edges(self, summary):
+        with pytest.raises(QueryError):
+            summary.subgraph_query([], 0, 5)
+
+    def test_check_range_rejects_inverted_ranges(self):
+        with pytest.raises(QueryError):
+            TemporalGraphSummary.check_range(5, 4)
+        TemporalGraphSummary.check_range(5, 5)

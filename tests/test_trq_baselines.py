@@ -1,0 +1,147 @@
+"""Tests for the temporal-range-query baselines: PGSS, Horae(-cpt), AuxoTime(-cpt).
+
+Every TRQ baseline must honour the same contract as HIGGS: one-sided error
+with respect to the exact store, support for edge and vertex queries over any
+range, and a meaningful analytic memory footprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (AuxoTime, AuxoTimeCompact, Horae, HoraeCompact,
+                             PGSS)
+from repro.baselines.exact import ExactTemporalGraph
+from repro.errors import ConfigurationError
+
+
+def _build(summary, stream):
+    summary.insert_stream(stream)
+    return summary
+
+
+def _methods_for(stream):
+    t_min, t_max = stream.time_span
+    span = t_max - t_min + 1
+    return {
+        "PGSS": PGSS(expected_items=len(stream), time_span=span),
+        "Horae": Horae(expected_items=len(stream), time_span=span),
+        "Horae-cpt": HoraeCompact(expected_items=len(stream), time_span=span),
+        "AuxoTime": AuxoTime(time_span=span),
+        "AuxoTime-cpt": AuxoTimeCompact(time_span=span),
+    }
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PGSS(expected_items=0)
+        with pytest.raises(ConfigurationError):
+            PGSS(expected_items=10, depth=0)
+        with pytest.raises(ConfigurationError):
+            Horae(expected_items=0, time_span=100)
+        with pytest.raises(ConfigurationError):
+            Horae(expected_items=10, time_span=0)
+        with pytest.raises(ConfigurationError):
+            Horae(expected_items=10, time_span=10, layer_stride=0)
+        with pytest.raises(ConfigurationError):
+            AuxoTime(time_span=0)
+
+    def test_compact_variants_keep_fewer_layers(self):
+        full = Horae(expected_items=1000, time_span=10_000)
+        compact = HoraeCompact(expected_items=1000, time_span=10_000)
+        assert compact.num_layers < full.num_layers
+        assert compact.memory_bytes() < full.memory_bytes()
+
+        full_at = AuxoTime(time_span=10_000)
+        compact_at = AuxoTimeCompact(time_span=10_000)
+        assert compact_at.num_layers < full_at.num_layers
+
+    def test_pgss_tracks_granularities(self):
+        sketch = PGSS(expected_items=100, time_span=1_000)
+        assert sketch.num_granularities >= 10
+
+
+class TestSmallExactBehaviour:
+    def test_single_edge_range_queries(self):
+        for name, summary in _methods_for_single().items():
+            summary.insert("a", "b", 2.0, 10)
+            summary.insert("a", "b", 3.0, 20)
+            assert summary.edge_query("a", "b", 0, 15) >= 2.0, name
+            assert summary.edge_query("a", "b", 0, 30) >= 5.0, name
+            assert summary.edge_query("a", "b", 11, 19) < 5.0 + 1e-9, name
+
+    def test_vertex_queries_cover_both_directions(self):
+        for name, summary in _methods_for_single().items():
+            summary.insert("a", "b", 1.0, 5)
+            summary.insert("a", "c", 2.0, 6)
+            summary.insert("d", "a", 4.0, 7)
+            assert summary.vertex_query("a", 0, 10) >= 3.0, name
+            assert summary.vertex_query("a", 0, 10, direction="in") >= 4.0, name
+
+
+def _methods_for_single():
+    return {
+        "PGSS": PGSS(expected_items=16, time_span=64),
+        "Horae": Horae(expected_items=16, time_span=64),
+        "Horae-cpt": HoraeCompact(expected_items=16, time_span=64),
+        "AuxoTime": AuxoTime(time_span=64),
+        "AuxoTime-cpt": AuxoTimeCompact(time_span=64),
+    }
+
+
+class TestOneSidedErrorOnStream:
+    @pytest.mark.parametrize("method_name", ["PGSS", "Horae", "Horae-cpt",
+                                             "AuxoTime", "AuxoTime-cpt"])
+    def test_edge_estimates_never_below_truth(self, method_name, small_stream,
+                                              small_truth):
+        summary = _methods_for(small_stream)[method_name]
+        _build(summary, small_stream)
+        t_min, t_max = small_stream.time_span
+        ranges = [(t_min, t_max), (t_min + 50, t_min + 700),
+                  (t_min + 900, t_min + 1_100)]
+        for source, destination in sorted(small_stream.distinct_edges())[:60]:
+            for t_start, t_end in ranges:
+                estimate = summary.edge_query(source, destination, t_start, t_end)
+                truth = small_truth.edge_query(source, destination, t_start, t_end)
+                assert estimate >= truth - 1e-9
+
+    @pytest.mark.parametrize("method_name", ["PGSS", "Horae", "AuxoTime"])
+    def test_vertex_estimates_never_below_truth(self, method_name, small_stream,
+                                                small_truth):
+        summary = _methods_for(small_stream)[method_name]
+        _build(summary, small_stream)
+        t_min, t_max = small_stream.time_span
+        for vertex in sorted(small_stream.vertices())[:40]:
+            estimate = summary.vertex_query(vertex, t_min, t_max)
+            truth = small_truth.vertex_query(vertex, t_min, t_max)
+            assert estimate >= truth - 1e-9
+
+
+class TestMemoryAccounting:
+    def test_memory_positive_and_grows(self, small_stream):
+        for name, summary in _methods_for(small_stream).items():
+            before = summary.memory_bytes()
+            assert before >= 0, name
+            _build(summary, small_stream)
+            assert summary.memory_bytes() >= before, name
+
+    def test_horae_memory_scales_with_layers(self):
+        short = Horae(expected_items=1000, time_span=16)
+        long = Horae(expected_items=1000, time_span=1 << 14)
+        assert long.memory_bytes() > short.memory_bytes()
+
+
+class TestDeletion:
+    def test_auxotime_delete_subtracts(self):
+        summary = AuxoTime(time_span=128)
+        summary.insert("a", "b", 5.0, 10)
+        summary.delete("a", "b", 2.0, 10)
+        assert summary.edge_query("a", "b", 0, 20) == pytest.approx(3.0)
+
+    def test_pgss_and_horae_delete_via_negative_weight(self):
+        for summary in (PGSS(expected_items=16, time_span=64),
+                        Horae(expected_items=16, time_span=64)):
+            summary.insert("a", "b", 5.0, 10)
+            summary.delete("a", "b", 2.0, 10)
+            assert summary.edge_query("a", "b", 0, 20) == pytest.approx(3.0)
