@@ -1,0 +1,35 @@
+"""Batch-ingestion speedup — ``insert_batch`` versus per-item ``insert``.
+
+Replays a 100k-edge synthetic stream (power-law vertex popularity, ~10 items
+per time slice, the regime of the paper's real traces) into every method
+twice — per-item and batched — and reports the throughput ratio.  The HIGGS
+batch path (one-pass hashing, per-batch fingerprint/probe memo, deferred
+upward aggregation, placement memo) typically lands at ≥2×; the assertion
+threshold below is set lower to absorb shared-machine noise.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+
+
+def test_batch_ingestion_speedup(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_batch_speedup(),
+        rounds=1, iterations=1)
+    emit(rows,
+         columns=["dataset", "method", "items", "per_item_eps", "batch_eps",
+                  "speedup"],
+         title="Batch Ingestion Speedup (insert_batch vs insert)",
+         filename="batch_speedup.txt", results_path=results_dir)
+
+    speedups = {row["method"]: row["speedup"] for row in rows}
+    # Wall-clock ratios flake on noisy shared runners, so only the methods
+    # with a structural batch win are asserted, and with generous margin
+    # (typical local ratios: HIGGS ~2×, Horae/AuxoTime ~2.1-2.4×).  The full
+    # table is persisted to results/ for inspection either way.
+    assert speedups["HIGGS"] >= 1.3, speedups
+    assert speedups["Horae"] >= 1.3, speedups
+    assert speedups["AuxoTime"] >= 1.3, speedups

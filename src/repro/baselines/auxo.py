@@ -103,6 +103,11 @@ class Auxo:
         """Insert at the deepest level, growing the PET when that level is full."""
         src_fp, src_addr = self._split(source)
         dst_fp, dst_addr = self._split(destination)
+        self.insert_hashed(src_fp, src_addr, dst_fp, dst_addr, weight)
+
+    def insert_hashed(self, src_fp: int, src_addr: int, dst_fp: int,
+                      dst_addr: int, weight: float) -> None:
+        """Insert one pre-hashed item (the post-``_split`` half of insert)."""
         deepest = len(self._levels) - 1
         matrix = self._node(deepest, self._route(src_fp, dst_fp, deepest), create=True)
         if matrix.insert(src_fp, dst_fp, src_addr, dst_addr, weight):
@@ -115,6 +120,23 @@ class Auxo:
                 return
         key = (src_fp, dst_fp, src_addr, dst_addr)
         self._buffer[key] = self._buffer.get(key, 0.0) + weight
+
+    def insert_batch(self, items) -> int:
+        """Bulk insert of ``(source, destination, weight)`` triples with a
+        per-batch vertex-hash memo; identical in effect to per-item inserts."""
+        split = self._split
+        memo: Dict[Vertex, Tuple[int, int]] = {}
+        count = 0
+        for source, destination, weight in items:
+            src = memo.get(source)
+            if src is None:
+                src = memo[source] = split(source)
+            dst = memo.get(destination)
+            if dst is None:
+                dst = memo[destination] = split(destination)
+            self.insert_hashed(src[0], src[1], dst[0], dst[1], weight)
+            count += 1
+        return count
 
     def delete(self, source: Vertex, destination: Vertex, weight: float = 1.0) -> None:
         """Subtract weight from the first matching entry found along the PET path."""

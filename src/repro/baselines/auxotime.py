@@ -67,6 +67,38 @@ class AuxoTime(TemporalGraphSummary):
             prefix = timestamp >> level
             self._layers[level].insert((source, prefix), (destination, prefix), weight)
 
+    def insert_batch(self, edges) -> int:
+        """Bulk insert with per-layer ``(vertex, prefix)`` hash memos.
+
+        Each temporal layer is an independent Auxo PET with its own hash
+        seed, so the memo is kept per layer; coarse layers see few distinct
+        prefixes within a batch and graph streams repeat vertices heavily,
+        which makes most splits memo hits.  Results are identical to the
+        per-item path.
+        """
+        layers = self._layers
+        levels = self._levels
+        memos = {level: {} for level in levels}
+        count = 0
+        for edge in edges:
+            timestamp = int(edge.timestamp)
+            source, destination, weight = edge.source, edge.destination, edge.weight
+            for level in levels:
+                prefix = timestamp >> level
+                layer = layers[level]
+                memo = memos[level]
+                skey = (source, prefix)
+                src = memo.get(skey)
+                if src is None:
+                    src = memo[skey] = layer._split(skey)
+                dkey = (destination, prefix)
+                dst = memo.get(dkey)
+                if dst is None:
+                    dst = memo[dkey] = layer._split(dkey)
+                layer.insert_hashed(src[0], src[1], dst[0], dst[1], weight)
+            count += 1
+        return count
+
     def delete(self, source: Vertex, destination: Vertex, weight: float,
                timestamp: int) -> None:
         timestamp = int(timestamp)

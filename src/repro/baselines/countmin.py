@@ -41,6 +41,22 @@ class CountMinSketch:
         for row in range(self.depth):
             self._table[row, self._index(item, row)] += weight
 
+    def update_batch(self, items) -> int:
+        """Bulk update of ``(item, weight)`` pairs with a per-batch index memo;
+        equivalent to per-item :meth:`update` calls."""
+        memo = {}
+        table = self._table
+        count = 0
+        for item, weight in items:
+            indices = memo.get(item)
+            if indices is None:
+                indices = memo[item] = [self._index(item, row)
+                                        for row in range(self.depth)]
+            for row, index in enumerate(indices):
+                table[row, index] += weight
+            count += 1
+        return count
+
     def remove(self, item: object, weight: float = 1.0) -> None:
         """Subtract ``weight`` (count-min supports deletions symmetrically)."""
         self.update(item, -weight)

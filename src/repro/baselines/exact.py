@@ -80,6 +80,22 @@ class ExactTemporalGraph(TemporalGraphSummary):
         self._in[destination].add(timestamp, weight)
         self._items += 1
 
+    def insert_batch(self, edges) -> int:
+        """Bulk insert: identical appends with the hot attribute lookups
+        hoisted out of the loop."""
+        edge_series = self._edges
+        out_series = self._out
+        in_series = self._in
+        count = 0
+        for edge in edges:
+            timestamp, weight = edge.timestamp, edge.weight
+            edge_series[(edge.source, edge.destination)].add(timestamp, weight)
+            out_series[edge.source].add(timestamp, weight)
+            in_series[edge.destination].add(timestamp, weight)
+            count += 1
+        self._items += count
+        return count
+
     def delete(self, source: Vertex, destination: Vertex, weight: float,
                timestamp: int) -> None:
         self.insert(source, destination, -weight, timestamp)

@@ -140,6 +140,37 @@ class Horae(TemporalGraphSummary):
             dst_fp, dst_addr = self._split(destination, prefix)
             self._layers[level].insert(src_fp, dst_fp, src_addr, dst_addr, weight)
 
+    def insert_batch(self, edges) -> int:
+        """Bulk insert with a per-batch ``(vertex, prefix)`` hash memo.
+
+        Horae hashes every item once per temporal layer; within a batch the
+        coarse layers see few distinct prefixes and graph streams repeat
+        vertices heavily, so most ``(vertex, prefix)`` splits hit the memo
+        instead of recomputing the 64-bit hash.  Insertion order and results
+        are identical to the per-item path.
+        """
+        split = self._split
+        layers = self._layers
+        levels = self._levels
+        memo: Dict[Tuple[Vertex, int], Tuple[int, int]] = {}
+        count = 0
+        for edge in edges:
+            timestamp = int(edge.timestamp)
+            source, destination, weight = edge.source, edge.destination, edge.weight
+            for level in levels:
+                prefix = timestamp >> level
+                key = (source, prefix)
+                src = memo.get(key)
+                if src is None:
+                    src = memo[key] = split(source, prefix)
+                key = (destination, prefix)
+                dst = memo.get(key)
+                if dst is None:
+                    dst = memo[key] = split(destination, prefix)
+                layers[level].insert(src[0], dst[0], src[1], dst[1], weight)
+            count += 1
+        return count
+
     def edge_query(self, source: Vertex, destination: Vertex,
                    t_start: int, t_end: int) -> float:
         self.check_range(t_start, t_end)

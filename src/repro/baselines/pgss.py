@@ -90,6 +90,40 @@ class PGSS(TemporalGraphSummary):
                 counters = self._tables[row][level].setdefault(cell, {})
                 counters[prefix] = counters.get(prefix, 0.0) + weight
 
+    def insert_batch(self, edges) -> int:
+        """Bulk insert with a per-batch ``(vertex, row)`` address memo.
+
+        PGSS hashes both endpoints once per hash matrix; the memo collapses
+        repeated vertices within a batch to dictionary lookups.  Counter
+        updates are identical to the per-item path.
+        """
+        memo: Dict[Tuple[Vertex, int], int] = {}
+        count = 0
+        for edge in edges:
+            timestamp = int(edge.timestamp)
+            source, destination, weight = edge.source, edge.destination, edge.weight
+            for row in range(self.depth):
+                skey = (source, row)
+                src_addr = memo.get(skey)
+                if src_addr is None:
+                    src_addr = memo[skey] = self._address(source, row)
+                dkey = (destination, row)
+                dst_addr = memo.get(dkey)
+                if dst_addr is None:
+                    dst_addr = memo[dkey] = self._address(destination, row)
+                cell = (src_addr, dst_addr)
+                if cell not in self._seen_cells[row]:
+                    self._seen_cells[row].add(cell)
+                    self._row_index[row].setdefault(cell[0], []).append(cell)
+                    self._col_index[row].setdefault(cell[1], []).append(cell)
+                row_tables = self._tables[row]
+                for level in self._levels:
+                    prefix = timestamp >> level
+                    counters = row_tables[level].setdefault(cell, {})
+                    counters[prefix] = counters.get(prefix, 0.0) + weight
+            count += 1
+        return count
+
     def _cell_range_sum(self, row: int, cell: Tuple[int, int],
                         t_start: int, t_end: int) -> float:
         total = 0.0

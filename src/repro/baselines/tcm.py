@@ -48,6 +48,26 @@ class TCM:
             matrix = self._matrices[row]
             matrix[self._address(source, row), self._address(destination, row)] += weight
 
+    def insert_batch(self, items) -> int:
+        """Bulk insert of ``(source, destination, weight)`` triples with a
+        per-batch ``(vertex, row)`` address memo; equivalent to per-item
+        inserts."""
+        memo = {}
+        count = 0
+        for source, destination, weight in items:
+            for row in range(self.depth):
+                skey = (source, row)
+                src_addr = memo.get(skey)
+                if src_addr is None:
+                    src_addr = memo[skey] = self._address(source, row)
+                dkey = (destination, row)
+                dst_addr = memo.get(dkey)
+                if dst_addr is None:
+                    dst_addr = memo[dkey] = self._address(destination, row)
+                self._matrices[row][src_addr, dst_addr] += weight
+            count += 1
+        return count
+
     def delete(self, source: Vertex, destination: Vertex, weight: float = 1.0) -> None:
         """Subtract ``weight`` (counters support deletion symmetrically)."""
         self.insert(source, destination, -weight)

@@ -56,11 +56,14 @@ EXPERIMENTS: Dict[str, tuple] = {
                "Figure 20(b): MMB and Overflow Blocks", "fig20b_mmb_ob.txt"),
     "fig21": (experiments.run_fig21_parameters,
               "Figure 21: Parameter Analysis (d1)", "fig21_parameters.txt"),
+    "batch": (experiments.run_batch_speedup,
+              "Batch Ingestion Speedup (insert_batch vs insert)",
+              "batch_speedup.txt"),
 }
 
 #: Experiments whose runners accept a ``scale`` keyword (dataset-based ones).
 _SCALED = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
-           "fig16", "fig18", "fig19", "fig20a", "fig20b", "fig21"}
+           "fig16", "fig18", "fig19", "fig20a", "fig20b", "fig21", "batch"}
 
 
 def build_parser() -> argparse.ArgumentParser:

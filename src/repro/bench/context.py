@@ -9,7 +9,6 @@ replays each stream into each method only once.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -18,7 +17,7 @@ from ..queries.workload import QueryWorkloadGenerator, WorkloadConfig
 from ..streams.datasets import load_dataset
 from ..streams.edge import GraphStream
 from ..summary import TemporalGraphSummary
-from .methods import DEFAULT_Z_MULTIPLE, METHOD_ORDER, make_methods
+from .methods import DEFAULT_Z_MULTIPLE, METHOD_ORDER, ingest, make_methods
 
 #: Default dataset scale used by the pytest benchmark harness.  0.2 keeps the
 #: full suite under a few minutes in CPython while preserving the relative
@@ -63,9 +62,7 @@ def build_context(dataset: str, *, scale: float = DEFAULT_SCALE,
     methods = make_methods(stream, include=include, z_multiple=z_multiple)
     insert_seconds: Dict[str, float] = {}
     for name, method in methods.items():
-        start = time.perf_counter()
-        method.insert_stream(stream)
-        insert_seconds[name] = time.perf_counter() - start
+        _count, insert_seconds[name] = ingest(method, stream)
     workload = QueryWorkloadGenerator(stream, WorkloadConfig(seed=workload_seed))
     return ExperimentContext(dataset=dataset, stream=stream, truth=truth,
                              methods=methods, insert_seconds=insert_seconds,

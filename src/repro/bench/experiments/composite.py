@@ -31,7 +31,8 @@ def run_fig12_path_queries(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
                            hops: Sequence[int] = DEFAULT_HOPS,
                            queries_per_setting: int = 50,
                            range_fraction: float = DEFAULT_RANGE_FRACTION,
-                           methods: Optional[Iterable[str]] = None
+                           methods: Optional[Iterable[str]] = None,
+                           use_batch: bool = True
                            ) -> List[Dict[str, object]]:
     """Fig. 12: path-query AAE / ARE / latency versus the number of hops."""
     rows: List[Dict[str, object]] = []
@@ -42,7 +43,8 @@ def run_fig12_path_queries(*, datasets: Iterable[str] = tuple(DATASET_ORDER),
             queries = context.workload.path_queries(queries_per_setting,
                                                     hop_count, range_length)
             for name, summary in context.methods.items():
-                result = evaluate_queries(summary, queries, context.truth)
+                result = evaluate_queries(summary, queries, context.truth,
+                                          use_batch=use_batch)
                 rows.append({
                     "figure": "fig12",
                     "dataset": dataset,
@@ -61,7 +63,8 @@ def run_fig13_subgraph_queries(*, datasets: Iterable[str] = tuple(DATASET_ORDER)
                                sizes: Sequence[int] = DEFAULT_SUBGRAPH_SIZES,
                                queries_per_setting: int = 20,
                                range_fraction: float = DEFAULT_RANGE_FRACTION,
-                               methods: Optional[Iterable[str]] = None
+                               methods: Optional[Iterable[str]] = None,
+                               use_batch: bool = True
                                ) -> List[Dict[str, object]]:
     """Fig. 13: subgraph-query AAE / ARE / latency versus the subgraph size."""
     rows: List[Dict[str, object]] = []
@@ -72,7 +75,8 @@ def run_fig13_subgraph_queries(*, datasets: Iterable[str] = tuple(DATASET_ORDER)
             queries = context.workload.subgraph_queries(queries_per_setting,
                                                         size, range_length)
             for name, summary in context.methods.items():
-                result = evaluate_queries(summary, queries, context.truth)
+                result = evaluate_queries(summary, queries, context.truth,
+                                          use_batch=use_batch)
                 rows.append({
                     "figure": "fig13",
                     "dataset": dataset,

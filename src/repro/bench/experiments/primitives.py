@@ -31,9 +31,14 @@ def run_query_experiment(kind: str, *,
                          scale: float = DEFAULT_SCALE,
                          range_lengths: Sequence[int] = DEFAULT_RANGE_LENGTHS,
                          queries_per_length: int = 200,
-                         methods: Optional[Iterable[str]] = None
+                         methods: Optional[Iterable[str]] = None,
+                         use_batch: bool = True
                          ) -> List[Dict[str, object]]:
     """Run the Fig. 10 (``kind="edge"``) or Fig. 11 (``kind="vertex"``) sweep.
+
+    Queries are evaluated through the bulk ``query_batch`` API by default
+    (estimates are bit-identical to the per-item path; latency is amortized
+    per query); pass ``use_batch=False`` for per-item timing.
 
     Returns long-format rows ``(dataset, Lq, method, aae, are, latency_us)``.
     """
@@ -49,7 +54,8 @@ def run_query_experiment(kind: str, *,
                 queries = context.workload.vertex_queries(
                     max(10, queries_per_length // 4), length)
             for name, summary in context.methods.items():
-                result = evaluate_queries(summary, queries, context.truth)
+                result = evaluate_queries(summary, queries, context.truth,
+                                          use_batch=use_batch)
                 rows.append({
                     "figure": "fig10" if kind == "edge" else "fig11",
                     "dataset": dataset,

@@ -46,15 +46,83 @@ def build_parent_matrix(level: int, config: HiggsConfig) -> CompressedMatrix:
         entry_bytes=config.internal_entry_bytes(level))
 
 
-def _insert_aggregated(node: InternalNode, fingerprint_src: int,
-                       fingerprint_dst: int, address_src: int,
-                       address_dst: int, weight: float) -> None:
-    """Place one lifted entry into the parent node, spilling over if needed."""
-    placed = node.matrix.insert(fingerprint_src, fingerprint_dst,
-                                address_src, address_dst, weight)
-    if not placed:
-        node.add_overflow(fingerprint_src, fingerprint_dst,
-                          address_src, address_dst, weight)
+class _LiftMemo:
+    """Per-aggregation memo: child ``(fingerprint, address)`` → lifted
+    coordinates plus the parent-matrix probe sequence.
+
+    One aggregation lifts every entry of ``θ`` children; endpoints repeat
+    heavily (skewed streams), so memoizing the pure lift + probe computation
+    per distinct endpoint removes most of the per-entry arithmetic without
+    changing any result.  ``table`` is exposed so the hot loop can probe the
+    memo with a plain dict get before paying the method call.
+    """
+
+    __slots__ = ("table", "_matrix", "_from_level", "_to_level", "_config")
+
+    def __init__(self, matrix: CompressedMatrix, from_level: int,
+                 to_level: int, config: HiggsConfig) -> None:
+        self.table: dict = {}
+        self._matrix = matrix
+        self._from_level = from_level
+        self._to_level = to_level
+        self._config = config
+
+    def lift(self, fingerprint: int, address: int
+             ) -> Tuple[int, int, Tuple[int, ...]]:
+        """Return (and memoize) ``(lifted_fp, lifted_addr, parent probe rows)``."""
+        lifted_fp, lifted_addr = lift_coordinates(
+            fingerprint, address, self._from_level, self._to_level,
+            self._config)
+        value = self.table[(fingerprint, address)] = (
+            lifted_fp, lifted_addr,
+            self._matrix.probe_rows(lifted_fp, lifted_addr))
+        return value
+
+
+#: Placement-memo marker: the key spilled into the node's exact overflow map.
+_SPILLED = object()
+
+
+def _aggregate_entries(node: InternalNode, entries: Iterable[Tuple],
+                       memo: _LiftMemo, placed: dict) -> None:
+    """Lift and place child entries into the parent, spilling over if needed.
+
+    ``placed`` memoizes where each distinct lifted key landed (its
+    :class:`MatrixEntry`, or :data:`_SPILLED`) across the whole node build;
+    repeated edges — common across sibling subtrees — accumulate directly
+    instead of re-scanning the parent's candidate buckets.  This is
+    bit-identical: the scan would find exactly the memoized entry (at most
+    one entry per key exists), and a key that once failed placement can never
+    gain a free slot later (slots only fill up).
+    """
+    insert_probed = node.matrix.insert_probed
+    lift = memo.lift
+    lift_get = memo.table.get
+    add_overflow = node.add_overflow
+    placed_get = placed.get
+    for fs, fd, hs, hd, weight, _ts in entries:
+        src = lift_get((fs, hs))
+        if src is None:
+            src = lift(fs, hs)
+        lifted_fs, lifted_hs, src_rows = src
+        dst = lift_get((fd, hd))
+        if dst is None:
+            dst = lift(fd, hd)
+        lifted_fd, lifted_hd, dst_cols = dst
+        key = (lifted_fs, lifted_fd, id(src_rows), id(dst_cols))
+        entry = placed_get(key)
+        if entry is not None:
+            if entry is _SPILLED:
+                add_overflow(lifted_fs, lifted_fd, lifted_hs, lifted_hd, weight)
+            else:
+                entry.weight += weight
+            continue
+        entry = insert_probed(lifted_fs, lifted_fd, src_rows, dst_cols, weight)
+        if entry is None:
+            add_overflow(lifted_fs, lifted_fd, lifted_hs, lifted_hd, weight)
+            placed[key] = _SPILLED
+        else:
+            placed[key] = entry
 
 
 def aggregate_leaves(parent_index: int, leaves: List[LeafNode],
@@ -73,13 +141,12 @@ def aggregate_leaves(parent_index: int, leaves: List[LeafNode],
     keys = [leaf.t_min for leaf in leaves[1:] if leaf.t_min is not None]
     node = InternalNode(level, parent_index, matrix, keys, t_min, t_max)
 
+    memo = _LiftMemo(matrix, 1, level, config)
+    placed: dict = {}
     for leaf in leaves:
         for child_matrix in leaf.matrices():
-            for fs, fd, hs, hd, weight, _ts in child_matrix.iter_canonical_entries():
-                lifted_fs, lifted_hs = lift_coordinates(fs, hs, 1, level, config)
-                lifted_fd, lifted_hd = lift_coordinates(fd, hd, 1, level, config)
-                _insert_aggregated(node, lifted_fs, lifted_fd,
-                                   lifted_hs, lifted_hd, weight)
+            _aggregate_entries(node, child_matrix.iter_canonical_entries(),
+                               memo, placed)
     return node
 
 
@@ -94,15 +161,12 @@ def aggregate_internal(parent_index: int, children: List[InternalNode],
     keys = [child.t_min for child in children[1:]]
     node = InternalNode(level, parent_index, matrix, keys, t_min, t_max)
 
+    memo = _LiftMemo(matrix, child_level, level, config)
+    placed: dict = {}
     for child in children:
-        for fs, fd, hs, hd, weight, _ts in child.matrix.iter_canonical_entries():
-            lifted_fs, lifted_hs = lift_coordinates(fs, hs, child_level, level, config)
-            lifted_fd, lifted_hd = lift_coordinates(fd, hd, child_level, level, config)
-            _insert_aggregated(node, lifted_fs, lifted_fd,
-                               lifted_hs, lifted_hd, weight)
-        for (fs, fd, hs, hd), weight in child.overflow.items():
-            lifted_fs, lifted_hs = lift_coordinates(fs, hs, child_level, level, config)
-            lifted_fd, lifted_hd = lift_coordinates(fd, hd, child_level, level, config)
-            _insert_aggregated(node, lifted_fs, lifted_fd,
-                               lifted_hs, lifted_hd, weight)
+        _aggregate_entries(node, child.matrix.iter_canonical_entries(),
+                           memo, placed)
+        _aggregate_entries(node, ((fs, fd, hs, hd, weight, None)
+                                  for (fs, fd, hs, hd), weight
+                                  in child.overflow.items()), memo, placed)
     return node

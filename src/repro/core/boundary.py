@@ -13,12 +13,22 @@ covered children first, then a descent along the two boundary paths); the
 implementation walks the implicit θ-ary tree over the leaf sequence so that
 incomplete spine groups — which have no aggregated matrix yet — transparently
 fall through to their children.
+
+Query-plan caching
+------------------
+Repeated-range workloads (the paper's Figs. 10-13 sweep a fixed set of range
+lengths) re-issue the same ``[t_start, t_end]`` against an unchanged tree
+many times.  :class:`QueryPlanCache` memoizes the
+:class:`RangeDecomposition` per ``(t_start, t_end, tree.version)`` so those
+queries skip the tree walk entirely; any tree mutation bumps
+``tree.version`` and transparently invalidates every cached plan.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from .node import InternalNode, LeafNode
 from .tree import HiggsTree
@@ -66,11 +76,14 @@ def boundary_search(tree: HiggsTree, t_start: int, t_end: int) -> RangeDecomposi
         top_level += 1
 
     def visit(level: int, index: int) -> None:
-        result.nodes_visited += 1
         width = fanout ** (level - 1)
         first_leaf = index * width
         if first_leaf >= leaf_count:
+            # Phantom position: the implicit tree extends past the last leaf,
+            # but no node exists here — it must not count as visited or the
+            # efficiency metric is inflated.
             return
+        result.nodes_visited += 1
         if level == 1:
             leaf = tree.leaves[first_leaf]
             if leaf.overlaps(t_start, t_end):
@@ -96,3 +109,54 @@ def decompose_range(tree: HiggsTree, t_start: int, t_end: int
     """Convenience wrapper returning ``(aggregated_nodes, boundary_leaves)``."""
     decomposition = boundary_search(tree, t_start, t_end)
     return decomposition.aggregated_nodes, decomposition.boundary_leaves
+
+
+class QueryPlanCache:
+    """LRU memo of :func:`boundary_search` results, keyed by query range.
+
+    Each cached plan remembers the ``tree.version`` it was computed against;
+    a lookup whose stored version no longer matches recomputes and replaces
+    the entry, so mutations never serve a stale decomposition.  The cache is
+    bounded (default 1024 plans) with least-recently-used eviction.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_plans")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("QueryPlanCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._plans: "OrderedDict[Tuple[int, int], Tuple[int, RangeDecomposition]]" = \
+            OrderedDict()
+
+    def lookup(self, tree: HiggsTree, t_start: int, t_end: int
+               ) -> RangeDecomposition:
+        """Return the (possibly cached) decomposition of ``[t_start, t_end]``."""
+        key = (t_start, t_end)
+        version = tree.version
+        cached = self._plans.get(key)
+        if cached is not None and cached[0] == version:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return cached[1]
+        self.misses += 1
+        plan = boundary_search(tree, t_start, t_end)
+        self._plans[key] = (version, plan)
+        self._plans.move_to_end(key)
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        """Drop every cached plan (hit/miss counters are kept)."""
+        self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for benchmarks and tests."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._plans), "maxsize": self.maxsize}
+
+    def __len__(self) -> int:
+        return len(self._plans)

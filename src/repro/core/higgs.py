@@ -3,8 +3,14 @@
 :class:`Higgs` is the public entry point of this library.  It owns the vertex
 hasher, the aggregated B-tree of compressed matrices, and implements the
 :class:`~repro.summary.TemporalGraphSummary` interface: stream items are
-inserted one at a time, and edge / vertex / path / subgraph queries can be
-answered over any temporal range.
+inserted one at a time (or in bulk via :meth:`Higgs.insert_batch`, which
+pre-hashes the batch through a per-batch fingerprint/address memo and defers
+upward aggregation to the end of the batch), and edge / vertex / path /
+subgraph queries can be answered over any temporal range — individually or
+in bulk via :meth:`Higgs.query_batch`.  Range decompositions are memoized in
+a :class:`~repro.core.boundary.QueryPlanCache` keyed by
+``(t_start, t_end, tree.version)``, so repeated-range workloads skip the
+boundary search after the first query.
 
 Example
 -------
@@ -20,12 +26,12 @@ Example
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..streams.edge import Vertex
+from ..streams.edge import StreamEdge, Vertex
 from ..summary import TemporalGraphSummary
 from .aggregation import lift_coordinates
-from .boundary import RangeDecomposition, boundary_search
+from .boundary import QueryPlanCache, RangeDecomposition, boundary_search
 from .config import HiggsConfig
 from .hashing import VertexHasher
 from .tree import HiggsTree
@@ -49,6 +55,7 @@ class Higgs(TemporalGraphSummary):
                                     self.config.leaf_matrix_size,
                                     seed=self.config.hash_seed)
         self._tree = HiggsTree(self.config)
+        self._plan_cache = QueryPlanCache()
 
     # ------------------------------------------------------------------ #
     # updates
@@ -61,6 +68,18 @@ class Higgs(TemporalGraphSummary):
         dst_fingerprint, dst_address = self._hasher.split(destination)
         self._tree.insert_hashed(src_fingerprint, dst_fingerprint,
                                  src_address, dst_address, weight, int(timestamp))
+
+    def insert_batch(self, edges: Iterable[StreamEdge]) -> int:
+        """Insert a batch of stream items with one-pass hashing.
+
+        Each distinct vertex in the batch is hashed once and its leaf-level
+        probe-address sequence computed once (graph streams are heavily
+        skewed, so most items hit this memo), then the pre-hashed batch is
+        applied by :meth:`HiggsTree.insert_hashed_batch`, which defers upward
+        aggregation to the end of the batch.  The resulting structure is
+        identical to per-item insertion.
+        """
+        return self._tree.insert_edges_batch(edges, self._hasher.split)
 
     def delete(self, source: Vertex, destination: Vertex, weight: float,
                timestamp: int) -> None:
@@ -89,16 +108,13 @@ class Higgs(TemporalGraphSummary):
             cache[key] = lifted
         return lifted
 
-    def edge_query(self, source: Vertex, destination: Vertex,
-                   t_start: int, t_end: int) -> float:
-        """Estimated aggregated weight of ``source → destination`` in range."""
-        self.check_range(t_start, t_end)
-        src_fingerprint, src_address = self._hasher.split(source)
-        dst_fingerprint, dst_address = self._hasher.split(destination)
-        decomposition = boundary_search(self._tree, t_start, t_end)
-
+    def _edge_query_hashed(self, src_fingerprint: int, src_address: int,
+                           dst_fingerprint: int, dst_address: int,
+                           t_start: int, t_end: int,
+                           cache: Dict[Tuple[int, int, int], Tuple[int, int]]
+                           ) -> float:
+        decomposition = self._plan_cache.lookup(self._tree, t_start, t_end)
         total = 0.0
-        cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
         for node in decomposition.aggregated_nodes:
             lifted_fs, lifted_hs = self._lifted(src_fingerprint, src_address,
                                                 node.level, cache)
@@ -112,17 +128,12 @@ class Higgs(TemporalGraphSummary):
                                            t_start, t_end)
         return total
 
-    def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
-                     direction: str = "out") -> float:
-        """Estimated aggregated weight of a vertex's incident edges in range."""
-        self.check_range(t_start, t_end)
-        if direction not in ("out", "in"):
-            raise ValueError("direction must be 'out' or 'in'")
-        fingerprint, address = self._hasher.split(vertex)
-        decomposition = boundary_search(self._tree, t_start, t_end)
-
+    def _vertex_query_hashed(self, fingerprint: int, address: int,
+                             t_start: int, t_end: int, direction: str,
+                             cache: Dict[Tuple[int, int, int], Tuple[int, int]]
+                             ) -> float:
+        decomposition = self._plan_cache.lookup(self._tree, t_start, t_end)
         total = 0.0
-        cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
         for node in decomposition.aggregated_nodes:
             lifted_f, lifted_h = self._lifted(fingerprint, address,
                                               node.level, cache)
@@ -134,14 +145,91 @@ class Higgs(TemporalGraphSummary):
                                              t_start=t_start, t_end=t_end)
         return total
 
+    def edge_query(self, source: Vertex, destination: Vertex,
+                   t_start: int, t_end: int) -> float:
+        """Estimated aggregated weight of ``source → destination`` in range."""
+        self.check_range(t_start, t_end)
+        src_fingerprint, src_address = self._hasher.split(source)
+        dst_fingerprint, dst_address = self._hasher.split(destination)
+        return self._edge_query_hashed(src_fingerprint, src_address,
+                                       dst_fingerprint, dst_address,
+                                       t_start, t_end, {})
+
+    def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
+                     direction: str = "out") -> float:
+        """Estimated aggregated weight of a vertex's incident edges in range."""
+        self.check_range(t_start, t_end)
+        if direction not in ("out", "in"):
+            raise ValueError("direction must be 'out' or 'in'")
+        fingerprint, address = self._hasher.split(vertex)
+        return self._vertex_query_hashed(fingerprint, address,
+                                         t_start, t_end, direction, {})
+
+    def query_batch(self, queries: Sequence) -> List[float]:
+        """Answer a batch of query objects with shared per-batch state.
+
+        Edge and vertex queries share one vertex-split memo and one
+        lifted-coordinate memo across the whole batch (both memoize pure
+        functions, so results are bit-identical to the per-item path);
+        composite queries fall back to their per-item evaluation, which still
+        benefits from the query-plan cache.
+        """
+        split = self._hasher.split
+        split_memo: Dict[Vertex, Tuple[int, int]] = {}
+        lifted: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+
+        def memo_split(vertex: Vertex) -> Tuple[int, int]:
+            pair = split_memo.get(vertex)
+            if pair is None:
+                pair = split_memo[vertex] = split(vertex)
+            return pair
+
+        results: List[float] = []
+        append = results.append
+        for query in queries:
+            # Structural dispatch keeps this module free of an import cycle
+            # with :mod:`repro.queries.types`.
+            if hasattr(query, "destination"):  # edge query
+                self.check_range(query.t_start, query.t_end)
+                src = memo_split(query.source)
+                dst = memo_split(query.destination)
+                append(self._edge_query_hashed(src[0], src[1], dst[0], dst[1],
+                                               query.t_start, query.t_end,
+                                               lifted))
+            elif hasattr(query, "vertex"):  # vertex query
+                self.check_range(query.t_start, query.t_end)
+                direction = query.direction
+                if direction not in ("out", "in"):
+                    raise ValueError("direction must be 'out' or 'in'")
+                fingerprint, address = memo_split(query.vertex)
+                append(self._vertex_query_hashed(fingerprint, address,
+                                                 query.t_start, query.t_end,
+                                                 direction, lifted))
+            else:  # composite (path / subgraph) — per-item evaluation
+                append(query.evaluate(self))
+        return results
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
 
     def decompose(self, t_start: int, t_end: int) -> RangeDecomposition:
-        """Expose the boundary-search decomposition (useful for analysis/tests)."""
+        """Expose the boundary-search decomposition (useful for analysis/tests).
+
+        Always performs a fresh walk so the reported ``nodes_visited`` is the
+        true per-query cost, independent of the plan cache.
+        """
         self.check_range(t_start, t_end)
         return boundary_search(self._tree, t_start, t_end)
+
+    @property
+    def plan_cache(self) -> QueryPlanCache:
+        """The query-plan cache memoizing range decompositions."""
+        return self._plan_cache
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the query-plan cache."""
+        return self._plan_cache.stats()
 
     @property
     def tree(self) -> HiggsTree:

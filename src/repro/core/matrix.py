@@ -17,10 +17,10 @@ C++ arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError
-from .hashing import probe_address, recover_base
+from .hashing import probe_address, probe_step
 
 
 @dataclass(slots=True)
@@ -85,7 +85,9 @@ class CompressedMatrix:
         self.num_probes = num_probes
         self.store_timestamps = store_timestamps
         self.entry_bytes = entry_bytes
-        self._buckets: Dict[Tuple[int, int], List[MatrixEntry]] = {}
+        #: Sparse bucket grid keyed by the flat index ``row * size + col``
+        #: (an int key avoids a tuple allocation per probe in the hot path).
+        self._buckets: Dict[int, List[MatrixEntry]] = {}
         self._rows: Dict[int, Set[int]] = {}
         self._cols: Dict[int, Set[int]] = {}
         self._entry_count = 0
@@ -117,25 +119,28 @@ class CompressedMatrix:
         return self.capacity * self.entry_bytes
 
     def _bucket(self, row: int, col: int) -> List[MatrixEntry]:
-        bucket = self._buckets.get((row, col))
+        key = row * self.size + col
+        bucket = self._buckets.get(key)
         if bucket is None:
             bucket = []
-            self._buckets[(row, col)] = bucket
+            self._buckets[key] = bucket
             self._rows.setdefault(row, set()).add(col)
             self._cols.setdefault(col, set()).add(row)
         return bucket
 
-    def _note_time(self, timestamp: Optional[int]) -> None:
-        if timestamp is None or not self.store_timestamps:
-            return
-        if self.start_time is None or timestamp < self.start_time:
-            self.start_time = timestamp
-        if self.end_time is None or timestamp > self.end_time:
-            self.end_time = timestamp
-
     # ------------------------------------------------------------------ #
     # insertion
     # ------------------------------------------------------------------ #
+
+    def probe_rows(self, fingerprint: int, address: int) -> Tuple[int, ...]:
+        """The vertex's candidate row/column indices, probe order.
+
+        Precomputing these once per vertex (and memoizing them per batch) is
+        the basis of :meth:`insert_probed`.
+        """
+        step = probe_step(fingerprint)
+        size = self.size
+        return tuple((address + i * step) % size for i in range(self.num_probes))
 
     def insert(self, src_fingerprint: int, dst_fingerprint: int,
                src_address: int, dst_address: int, weight: float,
@@ -143,37 +148,71 @@ class CompressedMatrix:
         """Insert (or accumulate) one item.  Returns False if every candidate
         bucket is full and no matching entry exists (an insertion failure in
         the paper's terminology — the caller then opens a new leaf)."""
+        return self.insert_probed(
+            src_fingerprint, dst_fingerprint,
+            self.probe_rows(src_fingerprint, src_address),
+            self.probe_rows(dst_fingerprint, dst_address),
+            weight, timestamp) is not None
+
+    def insert_probed(self, src_fingerprint: int, dst_fingerprint: int,
+                      src_rows: Sequence[int], dst_cols: Sequence[int],
+                      weight: float,
+                      timestamp: Optional[int] = None) -> Optional[MatrixEntry]:
+        """:meth:`insert` with precomputed probe sequences (see
+        :meth:`probe_rows`); bit-identical placement, probe order and result.
+
+        Returns the entry the weight was accumulated into (or appended as),
+        or ``None`` on insertion failure.  A matrix holds at most one entry
+        per ``(fingerprints, probe positions, timestamp)`` key — accumulation
+        prevents duplicates — so batch callers may memoize the returned entry
+        and add follow-up weights to it directly, skipping the bucket scan.
+
+        This is the bulk-ingestion hot path: batch callers memoize the probe
+        sequences per vertex, so repeated endpoints skip all probe-address
+        arithmetic."""
         ts = timestamp if self.store_timestamps else None
         free_slot: Optional[Tuple[int, int]] = None
+        buckets = self._buckets
+        bucket_entries = self.bucket_entries
+        size = self.size
 
-        for i in range(self.num_probes):
-            row = probe_address(src_address, i, src_fingerprint, self.size)
-            for j in range(self.num_probes):
-                col = probe_address(dst_address, j, dst_fingerprint, self.size)
-                bucket = self._buckets.get((row, col))
+        for i, row in enumerate(src_rows):
+            row_base = row * size
+            for j, col in enumerate(dst_cols):
+                bucket = buckets.get(row_base + col)
                 if bucket is None:
                     if free_slot is None:
                         free_slot = (i, j)
                     continue
                 for entry in bucket:
-                    if (entry.matches(src_fingerprint, dst_fingerprint, ts)
-                            and entry.src_probe == i and entry.dst_probe == j):
+                    if (entry.src_probe == i and entry.dst_probe == j
+                            and entry.src_fingerprint == src_fingerprint
+                            and entry.dst_fingerprint == dst_fingerprint
+                            and (ts is None or entry.timestamp == ts)):
                         entry.weight += weight
-                        self._note_time(ts)
-                        return True
-                if free_slot is None and len(bucket) < self.bucket_entries:
+                        # start/end-time tracking is inlined (twice: here and
+                        # on the append path) — this is the ingest hot loop.
+                        if ts is not None:
+                            if self.start_time is None or ts < self.start_time:
+                                self.start_time = ts
+                            if self.end_time is None or ts > self.end_time:
+                                self.end_time = ts
+                        return entry
+                if free_slot is None and len(bucket) < bucket_entries:
                     free_slot = (i, j)
 
         if free_slot is None:
-            return False
+            return None
         i, j = free_slot
-        row = probe_address(src_address, i, src_fingerprint, self.size)
-        col = probe_address(dst_address, j, dst_fingerprint, self.size)
-        self._bucket(row, col).append(
-            MatrixEntry(src_fingerprint, dst_fingerprint, i, j, weight, ts))
+        entry = MatrixEntry(src_fingerprint, dst_fingerprint, i, j, weight, ts)
+        self._bucket(src_rows[i], dst_cols[j]).append(entry)
         self._entry_count += 1
-        self._note_time(ts)
-        return True
+        if ts is not None:
+            if self.start_time is None or ts < self.start_time:
+                self.start_time = ts
+            if self.end_time is None or ts > self.end_time:
+                self.end_time = ts
+        return entry
 
     def decrement(self, src_fingerprint: int, dst_fingerprint: int,
                   src_address: int, dst_address: int, weight: float,
@@ -187,7 +226,7 @@ class CompressedMatrix:
             row = probe_address(src_address, i, src_fingerprint, self.size)
             for j in range(self.num_probes):
                 col = probe_address(dst_address, j, dst_fingerprint, self.size)
-                bucket = self._buckets.get((row, col))
+                bucket = self._buckets.get(row * self.size + col)
                 if not bucket:
                     continue
                 for entry in bucket:
@@ -215,7 +254,7 @@ class CompressedMatrix:
             row = probe_address(src_address, i, src_fingerprint, self.size)
             for j in range(self.num_probes):
                 col = probe_address(dst_address, j, dst_fingerprint, self.size)
-                bucket = self._buckets.get((row, col))
+                bucket = self._buckets.get(row * self.size + col)
                 if not bucket:
                     continue
                 for entry in bucket:
@@ -238,14 +277,15 @@ class CompressedMatrix:
         """Sum weights of entries whose source (``out``) or destination
         (``in``) endpoint identifies the queried vertex."""
         total = 0.0
+        size = self.size
         for i in range(self.num_probes):
-            lane = probe_address(address, i, fingerprint, self.size)
+            lane = probe_address(address, i, fingerprint, size)
             if direction == "out":
                 cols = self._rows.get(lane, ())
-                cells = ((lane, col) for col in cols)
+                cells = (lane * size + col for col in cols)
             else:
                 rows = self._cols.get(lane, ())
-                cells = ((row, lane) for row in rows)
+                cells = (row * size + lane for row in rows)
             for cell in cells:
                 bucket = self._buckets.get(cell)
                 if not bucket:
@@ -277,13 +317,18 @@ class CompressedMatrix:
         from the bucket coordinates and the stored probe indices.  This is the
         iteration primitive used by the parent-level aggregation.
         """
-        for (row, col), bucket in self._buckets.items():
+        size = self.size
+        for key, bucket in self._buckets.items():
+            row, col = divmod(key, size)
             for entry in bucket:
-                base_row = recover_base(row, entry.src_probe,
-                                        entry.src_fingerprint, self.size)
-                base_col = recover_base(col, entry.dst_probe,
-                                        entry.dst_fingerprint, self.size)
-                yield (entry.src_fingerprint, entry.dst_fingerprint,
+                src_fingerprint = entry.src_fingerprint
+                dst_fingerprint = entry.dst_fingerprint
+                # recover_base inlined: base = probed - probe * (2*fp + 1).
+                base_row = (row - entry.src_probe
+                            * (2 * src_fingerprint + 1)) % size
+                base_col = (col - entry.dst_probe
+                            * (2 * dst_fingerprint + 1)) % size
+                yield (src_fingerprint, dst_fingerprint,
                        base_row, base_col, entry.weight, entry.timestamp)
 
     def __len__(self) -> int:

@@ -12,10 +12,13 @@ DESIGN.md §3):
   leaf inserts while a worker thread drains an aggregation queue.  This keeps
   the paper's structure (useful when the aggregation step releases the GIL or
   when running under a GIL-free interpreter) but gives little speed-up here.
-* ``"batched"`` — the practical equivalent in CPython: leaf inserts run in a
-  tight loop with upward aggregation deferred and applied in batches, which
-  captures exactly the benefit the optimization targets (decoupling stream
-  ingestion from aggregation).
+  If the consumer thread dies on an exception it drains the remaining queue
+  (so the producer can never block forever on the bounded queue) and the
+  recorded exception is re-raised in the caller.
+* ``"batched"`` — the practical equivalent in CPython: chunks are driven
+  through :meth:`Higgs.insert_batch`, whose one-pass hashing and deferred
+  upward aggregation capture exactly the benefit the optimization targets
+  (decoupling stream ingestion from aggregation).
 
 Both modes produce a structure identical to sequential insertion.
 """
@@ -69,42 +72,33 @@ class PipelinedInserter:
         return count
 
     def _insert_batched(self, stream: Iterable[StreamEdge]) -> int:
-        """Insert in pre-hashed batches.
+        """Insert in pre-hashed batches via :meth:`Higgs.insert_batch`.
 
-        Hashing is hoisted out of the insert loop per batch, mirroring how the
-        paper's leaf-layer thread prepares items before the structural update.
+        Hashing is hoisted out of the insert loop per batch (with a per-batch
+        fingerprint/address memo) and upward aggregation is deferred to batch
+        boundaries, mirroring how the paper's leaf-layer thread prepares items
+        before the structural update.
         """
-        hasher = self.summary._hasher
-        tree = self.summary.tree
-        count = 0
-        batch: List[StreamEdge] = []
-
-        def flush() -> None:
-            nonlocal count
-            hashed = [(hasher.split(e.source), hasher.split(e.destination),
-                       e.weight, e.timestamp) for e in batch]
-            for (fs, hs), (fd, hd), weight, timestamp in hashed:
-                tree.insert_hashed(fs, fd, hs, hd, weight, int(timestamp))
-            count += len(batch)
-            batch.clear()
-
-        for edge in stream:
-            batch.append(edge)
-            if len(batch) >= self.batch_size:
-                flush()
-        if batch:
-            flush()
-        return count
+        return self.summary.insert_stream(stream, batch_size=self.batch_size)
 
     def _insert_threaded(self, stream: Iterable[StreamEdge]) -> int:
         """Producer/consumer pipeline: hashing in the caller, structural
         updates in a dedicated worker thread (one consumer keeps updates
-        sequential, matching the element-level ordering the paper requires)."""
+        sequential, matching the element-level ordering the paper requires).
+
+        A consumer-side exception must not deadlock the producer: the bounded
+        queue would fill while the dead consumer never drains it, and the
+        producer would block in ``put`` before ever sending the ``None``
+        sentinel.  On error the consumer therefore keeps consuming (and
+        discarding) items until the sentinel arrives, while the producer
+        stops early as soon as it observes the failure flag.
+        """
         work: "queue.Queue[Optional[tuple]]" = queue.Queue(maxsize=4 * self.batch_size)
         hasher = self.summary._hasher
         tree = self.summary.tree
         inserted = 0
         errors: List[BaseException] = []
+        failed = threading.Event()
 
         def consumer() -> None:
             nonlocal inserted
@@ -116,14 +110,21 @@ class PipelinedInserter:
                     fs, fd, hs, hd, weight, timestamp = item
                     tree.insert_hashed(fs, fd, hs, hd, weight, timestamp)
                     inserted += 1
-                except BaseException as exc:  # pragma: no cover - defensive
+                except BaseException as exc:
                     errors.append(exc)
+                    failed.set()
+                    # Drain until the sentinel so the producer never blocks
+                    # on the bounded queue.
+                    while work.get() is not None:
+                        pass
                     return
 
         worker = threading.Thread(target=consumer, name="higgs-aggregator",
                                   daemon=True)
         worker.start()
         for edge in stream:
+            if failed.is_set():
+                break
             fs, hs = hasher.split(edge.source)
             fd, hd = hasher.split(edge.destination)
             work.put((fs, fd, hs, hd, edge.weight, int(edge.timestamp)))

@@ -11,16 +11,28 @@ order of a stream replay).  Out-of-order inserts are still stored correctly —
 every leaf tracks its exact time range — but the structure notes the
 violation and the range decomposition then relies only on per-node ranges,
 never on positional assumptions.
+
+Batch insertion
+---------------
+:meth:`HiggsTree.insert_hashed_batch` is the bulk counterpart of
+:meth:`HiggsTree.insert_hashed`: it applies a pre-hashed batch in one tight
+loop and *defers the upward aggregation* of leaf groups that complete
+mid-batch to the end of the batch.  Deferral is sound because a completed
+group's leaves are closed — no later item of the batch can change them — so
+aggregating at batch end builds byte-identical internal nodes.  The tree also
+carries a monotonically increasing :attr:`version`, bumped by every mutation,
+which query-plan caches use as their invalidation key.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import InsertionError
 from .aggregation import aggregate_internal, aggregate_leaves, lift_coordinates
 from .config import HiggsConfig
+from .hashing import probe_address
 from .matrix import CompressedMatrix
 from .node import InternalNode, LeafNode
 
@@ -38,6 +50,7 @@ class HiggsTree:
         self._last_timestamp: Optional[int] = None
         self._monotonic = True
         self._items_inserted = 0
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # structure accessors
@@ -57,6 +70,12 @@ class HiggsTree:
     def items_inserted(self) -> int:
         """Total number of stream items inserted so far."""
         return self._items_inserted
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every insert/delete that may change a
+        range decomposition.  Query-plan caches key on it for invalidation."""
+        return self._version
 
     def internal_node(self, level: int, index: int) -> Optional[InternalNode]:
         """Return the materialized internal node at ``(level, index)`` or None.
@@ -95,6 +114,7 @@ class HiggsTree:
                       timestamp: int) -> None:
         """Insert one hashed stream item, opening new leaves / overflow blocks
         and triggering upward aggregation as needed (Algorithm 1)."""
+        self._version += 1
         if self._last_timestamp is not None and timestamp < self._last_timestamp:
             self._monotonic = False
         self._last_timestamp = (timestamp if self._last_timestamp is None
@@ -126,6 +146,158 @@ class HiggsTree:
             self._leaf_first_ts[leaf.index] = timestamp
         self._items_inserted += 1
 
+    def insert_edges_batch(self, edges: Iterable, split) -> int:
+        """Fused bulk insert: hash, probe and place a batch of stream edges.
+
+        ``split`` maps a vertex to its ``(fingerprint, address)`` pair (the
+        public :class:`~repro.core.higgs.Higgs` passes its hasher's method).
+        Each distinct vertex in the batch is hashed once and its leaf-level
+        probe rows computed once; the items then flow through the same
+        deferred-aggregation loop as :meth:`insert_hashed_batch` without an
+        intermediate pre-hashed list.  Returns the number of items inserted.
+        """
+        size = self.config.leaf_matrix_size
+        num_probes = self.config.num_probes
+        memo: Dict[object, Tuple[int, Tuple[int, ...]]] = {}
+        memo_get = memo.get
+
+        def prepared() -> Iterable[Tuple[int, int, Tuple[int, ...],
+                                         Tuple[int, ...], float, int]]:
+            for edge in edges:
+                source = edge.source
+                src = memo_get(source)
+                if src is None:
+                    fp, addr = split(source)
+                    src = memo[source] = (fp, tuple(
+                        probe_address(addr, i, fp, size)
+                        for i in range(num_probes)))
+                destination = edge.destination
+                dst = memo_get(destination)
+                if dst is None:
+                    fp, addr = split(destination)
+                    dst = memo[destination] = (fp, tuple(
+                        probe_address(addr, i, fp, size)
+                        for i in range(num_probes)))
+                yield (src[0], dst[0], src[1], dst[1],
+                       edge.weight, int(edge.timestamp))
+
+        return self.insert_hashed_batch(prepared())
+
+    def insert_hashed_batch(self, items: Iterable[Tuple[int, int,
+                                                        Sequence[int],
+                                                        Sequence[int],
+                                                        float, int]]) -> int:
+        """Insert a batch of pre-hashed items with precomputed probe rows.
+
+        Each item is ``(f(s), f(d), src_probe_rows, dst_probe_rows, w, t)``
+        where the probe rows come from
+        :meth:`~repro.core.matrix.CompressedMatrix.probe_rows` at the leaf
+        dimension (overflow blocks and fresh leaves share that dimension, so
+        one sequence per vertex serves the whole batch; reusing one tuple
+        per distinct vertex maximizes the placement memo's hit rate, but
+        fresh tuples per item are also safe).  Applies
+        the same per-item logic as :meth:`insert_hashed` but defers the
+        upward aggregation of leaf groups completed during the batch to the
+        end, so the leaf-insert loop runs without interleaved aggregation
+        work.  The final structure is identical to per-item insertion.
+        Returns the number of items inserted.
+        """
+        config = self.config
+        enable_overflow = config.enable_overflow_blocks
+        last_ts = self._last_timestamp
+        monotonic = self._monotonic
+        pending_groups: List[int] = []
+        leaf = self._current_leaf()
+        matrix_insert = leaf.matrix.insert_probed
+        leaf_first_ts = self._leaf_first_ts
+        # Placement memo for the *current leaf matrix*: item key → the
+        # MatrixEntry holding it.  A repeated key accumulates directly into
+        # its entry — bit-identical to the scan, which would find exactly
+        # that entry (a matrix holds at most one entry per key).  Probe-row
+        # tuples are identified by ``id``; ``memo_alive`` pins every
+        # memoized tuple so its id cannot be recycled while the memo lives,
+        # which makes id-keying safe even for callers that build fresh
+        # tuples per item (distinct live objects always have distinct ids).
+        # The memo dies with the leaf: overflow-block placements are never
+        # memoized (a later identical item may close the leaf instead once
+        # ``t_max`` advances).
+        entry_memo: Dict[Tuple[int, int, int], object] = {}
+        memo_get = entry_memo.get
+        memo_alive: List[object] = []
+        leaf_has_first = leaf_first_ts[leaf.index] is not None
+        count = 0
+        try:
+            for fs, fd, src_rows, dst_cols, weight, timestamp in items:
+                if last_ts is None:
+                    last_ts = timestamp
+                elif timestamp < last_ts:
+                    monotonic = False
+                elif timestamp > last_ts:
+                    last_ts = timestamp
+                key = (id(src_rows), id(dst_cols), timestamp)
+                entry = memo_get(key)
+                if entry is not None:
+                    entry.weight += weight
+                    count += 1
+                    continue
+                entry = matrix_insert(fs, fd, src_rows, dst_cols,
+                                      weight, timestamp)
+                if entry is not None:
+                    entry_memo[key] = entry
+                    memo_alive.append(src_rows)
+                    memo_alive.append(dst_cols)
+                    if not leaf_has_first:
+                        leaf_first_ts[leaf.index] = timestamp
+                        leaf_has_first = True
+                    count += 1
+                    continue
+                if (enable_overflow
+                        and leaf.t_max is not None and timestamp == leaf.t_max):
+                    self._insert_into_overflow_probed(leaf, fs, fd, src_rows,
+                                                      dst_cols, weight,
+                                                      timestamp)
+                    count += 1
+                    continue
+                leaf.closed = True
+                pending_groups.append(leaf.index)
+                leaf = self._open_leaf()
+                leaf_first_ts = self._leaf_first_ts
+                matrix_insert = leaf.matrix.insert_probed
+                entry_memo.clear()
+                memo_get = entry_memo.get
+                memo_alive.clear()
+                entry = matrix_insert(fs, fd, src_rows, dst_cols,
+                                      weight, timestamp)
+                if entry is None:
+                    raise InsertionError(
+                        "insertion into a freshly opened leaf matrix failed; "
+                        "this indicates an invalid configuration")
+                entry_memo[key] = entry
+                memo_alive.append(src_rows)
+                memo_alive.append(dst_cols)
+                leaf_first_ts[leaf.index] = timestamp
+                leaf_has_first = True
+                count += 1
+        finally:
+            # Runs even when `items` (a caller's generator) or an insert
+            # raises mid-batch: account exactly the items applied and
+            # aggregate every group completed so far, so the tree stays
+            # consistent and query-plan caches invalidate.
+            self._last_timestamp = last_ts
+            self._monotonic = monotonic
+            self._items_inserted += count
+            if count or pending_groups:
+                # +1 covers a failed item that already mutated the structure
+                # (closed a leaf) before raising; version only needs to grow
+                # on mutation, not match the per-item count.
+                self._version += count + 1
+            # Deferred upward aggregation: closed-leaf groups are aggregated
+            # in leaf order so internal nodes materialize in the same order
+            # as the per-item path (``_append_internal`` enforces this).
+            for index in pending_groups:
+                self._aggregate_if_group_complete(index)
+        return count
+
     def _insert_into_overflow(self, leaf: LeafNode, src_fingerprint: int,
                               dst_fingerprint: int, src_address: int,
                               dst_address: int, weight: float,
@@ -147,18 +319,43 @@ class HiggsTree:
                             src_address, dst_address, weight, timestamp):
             raise InsertionError("insertion into a fresh overflow block failed")
 
+    def _insert_into_overflow_probed(self, leaf: LeafNode, src_fingerprint: int,
+                                     dst_fingerprint: int,
+                                     src_rows: Sequence[int],
+                                     dst_cols: Sequence[int], weight: float,
+                                     timestamp: int) -> None:
+        """Probed-path twin of :meth:`_insert_into_overflow` (overflow blocks
+        share the leaf matrix dimension, so the probe rows carry over)."""
+        for block in leaf.overflow_blocks:
+            if block.insert_probed(src_fingerprint, dst_fingerprint,
+                                   src_rows, dst_cols, weight, timestamp):
+                return
+        block = CompressedMatrix(
+            self.config.leaf_matrix_size, self.config.overflow_block_entries,
+            num_probes=self.config.num_probes, store_timestamps=True,
+            entry_bytes=self.config.leaf_entry_bytes())
+        leaf.overflow_blocks.append(block)
+        if not block.insert_probed(src_fingerprint, dst_fingerprint,
+                                   src_rows, dst_cols, weight, timestamp):
+            raise InsertionError("insertion into a fresh overflow block failed")
+
     # ------------------------------------------------------------------ #
     # leaf closing and upward aggregation
     # ------------------------------------------------------------------ #
 
     def _close_leaf(self, leaf: LeafNode) -> None:
         leaf.closed = True
+        self._aggregate_if_group_complete(leaf.index)
+
+    def _aggregate_if_group_complete(self, leaf_index: int) -> None:
+        """Materialize the parent of the leaf group ending at ``leaf_index``
+        (and cascade upward) once all ``θ`` leaves of the group are closed."""
         fanout = self.config.fanout
-        if (leaf.index + 1) % fanout != 0:
+        if (leaf_index + 1) % fanout != 0:
             return
-        group_start = leaf.index + 1 - fanout
-        group = self.leaves[group_start:leaf.index + 1]
-        parent_index = leaf.index // fanout
+        group_start = leaf_index + 1 - fanout
+        group = self.leaves[group_start:leaf_index + 1]
+        parent_index = leaf_index // fanout
         node = aggregate_leaves(parent_index, group, self.config)
         self._append_internal(2, parent_index, node)
         self._maybe_close_internal(2, parent_index)
@@ -201,6 +398,7 @@ class HiggsTree:
                                           timestamp)
         if leaf is None:
             return False
+        self._version += 1
         self._decrement_ancestors(leaf.index, src_fingerprint, dst_fingerprint,
                                   src_address, dst_address, weight)
         return True

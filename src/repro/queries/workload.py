@@ -12,6 +12,15 @@ Workloads are generated from the *stream itself* so that a controlled
 fraction of the queried items actually exists (queries over never-seen edges
 have a true value of zero, which makes ARE undefined; the paper's ARE plots
 imply mostly-existing queries).
+
+Batched workloads
+-----------------
+The throughput experiments drive summaries through the bulk
+``query_batch`` API, so the generator can also emit *batched* workloads:
+:meth:`QueryWorkloadGenerator.batched` chunks any query list, and
+:meth:`QueryWorkloadGenerator.repeated_range_edge_queries` draws the query
+ranges from a small set of distinct ranges — the repeated-range shape of the
+paper's Figs. 10-13 sweeps that query-plan caches exploit.
 """
 
 from __future__ import annotations
@@ -84,6 +93,44 @@ class QueryWorkloadGenerator:
         for _ in range(count):
             source, destination = self._pick_edge()
             t_start, t_end = self._random_range(range_length)
+            queries.append(EdgeQuery(source, destination, t_start, t_end))
+        return queries
+
+    @staticmethod
+    def batched(queries: Sequence, batch_size: int) -> List[List]:
+        """Chunk any query list into batches of at most ``batch_size``."""
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        return [list(queries[i:i + batch_size])
+                for i in range(0, len(queries), batch_size)]
+
+    def edge_query_batches(self, count: int, range_length: int,
+                           batch_size: int) -> List[List[EdgeQuery]]:
+        """``count`` edge queries chunked into batches of ``batch_size``."""
+        return self.batched(self.edge_queries(count, range_length), batch_size)
+
+    def vertex_query_batches(self, count: int, range_length: int,
+                             batch_size: int,
+                             direction: str = "out") -> List[List[VertexQuery]]:
+        """``count`` vertex queries chunked into batches of ``batch_size``."""
+        return self.batched(self.vertex_queries(count, range_length,
+                                                direction=direction), batch_size)
+
+    def repeated_range_edge_queries(self, count: int, range_length: int,
+                                    distinct_ranges: int) -> List[EdgeQuery]:
+        """``count`` edge queries whose ranges repeat from a small pool.
+
+        Draws ``distinct_ranges`` random ranges of ``range_length`` units and
+        assigns each query one of them round-robin — the repeated-range
+        workload shape that exercises query-plan caching.
+        """
+        if distinct_ranges < 1:
+            raise ConfigurationError("distinct_ranges must be >= 1")
+        ranges = [self._random_range(range_length) for _ in range(distinct_ranges)]
+        queries = []
+        for i in range(count):
+            source, destination = self._pick_edge()
+            t_start, t_end = ranges[i % distinct_ranges]
             queries.append(EdgeQuery(source, destination, t_start, t_end))
         return queries
 

@@ -1,19 +1,35 @@
 """Abstract interface shared by HIGGS and every baseline summary.
 
 The experiment harness treats all summaries uniformly through this interface:
-items are inserted with :meth:`insert`, temporal range queries are answered
-with :meth:`edge_query` / :meth:`vertex_query`, and composite path/subgraph
-queries have default implementations that decompose into edge queries exactly
-as the paper describes (Section III).
+items are inserted with :meth:`insert` (or in bulk with :meth:`insert_batch`),
+temporal range queries are answered with :meth:`edge_query` /
+:meth:`vertex_query` (or in bulk with :meth:`query_batch`), and composite
+path/subgraph queries have default implementations that decompose into edge
+queries exactly as the paper describes (Section III).
+
+Batch execution
+---------------
+:meth:`insert_batch` and :meth:`query_batch` are the bulk entry points used
+by the throughput experiments.  Their default implementations fall back to
+the per-item methods, so every summary supports them; structures with a
+cheaper bulk path (pre-hashed inserts, memoized range decompositions)
+override them with a native implementation that produces *bit-identical*
+results.  :meth:`insert_stream` chunks a stream through :meth:`insert_batch`,
+so any summary with a native batch path accelerates stream replay for free.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from .errors import QueryError
 from .streams.edge import GraphStream, StreamEdge, Vertex
+
+#: Default number of items per chunk when replaying a stream through the
+#: batch insert path.  Large enough to amortize per-batch setup (hash memo
+#: dictionaries), small enough to keep the memo working set in cache.
+DEFAULT_BATCH_SIZE = 1024
 
 
 class TemporalGraphSummary(ABC):
@@ -31,6 +47,20 @@ class TemporalGraphSummary(ABC):
                timestamp: int) -> None:
         """Insert one stream item ``(source, destination, weight, timestamp)``."""
 
+    def insert_batch(self, edges: Iterable[StreamEdge]) -> int:
+        """Insert a batch of stream items; returns the number inserted.
+
+        The default implementation loops over :meth:`insert`.  Summaries with
+        a native bulk path (one-pass hashing, deferred aggregation) override
+        this; overrides must produce a structure identical to per-item
+        insertion in arrival order.
+        """
+        count = 0
+        for edge in edges:
+            self.insert(edge.source, edge.destination, edge.weight, edge.timestamp)
+            count += 1
+        return count
+
     def delete(self, source: Vertex, destination: Vertex, weight: float,
                timestamp: int) -> None:
         """Remove ``weight`` from a previously inserted item.
@@ -41,10 +71,26 @@ class TemporalGraphSummary(ABC):
         """
         self.insert(source, destination, -weight, timestamp)
 
-    def insert_stream(self, stream: GraphStream | Iterable[StreamEdge]) -> None:
-        """Insert every item of a stream in order."""
+    def insert_stream(self, stream: GraphStream | Iterable[StreamEdge], *,
+                      batch_size: int = DEFAULT_BATCH_SIZE) -> int:
+        """Insert every item of a stream in order, in batches.
+
+        Returns the number of items inserted.  The stream is chunked through
+        :meth:`insert_batch` so summaries with a native bulk path benefit
+        without the caller changing anything.
+        """
+        batch_size = max(1, batch_size)
+        count = 0
+        batch: List[StreamEdge] = []
+        append = batch.append
         for edge in stream:
-            self.insert(edge.source, edge.destination, edge.weight, edge.timestamp)
+            append(edge)
+            if len(batch) >= batch_size:
+                count += self.insert_batch(batch)
+                batch.clear()
+        if batch:
+            count += self.insert_batch(batch)
+        return count
 
     # ------------------------------------------------------------------ #
     # temporal range query primitives
@@ -61,6 +107,17 @@ class TemporalGraphSummary(ABC):
                      direction: str = "out") -> float:
         """Estimated aggregated weight of all outgoing (``"out"``) or incoming
         (``"in"``) edges of ``vertex`` in ``[t_start, t_end]``."""
+
+    def query_batch(self, queries: Sequence) -> List[float]:
+        """Answer a batch of query objects; returns one estimate per query.
+
+        Each element must expose ``evaluate(summary)`` (the protocol of
+        :mod:`repro.queries.types`).  The default implementation evaluates
+        queries one at a time; summaries with shared per-batch state (plan
+        caches, memoized hash lifts) override it.  Overrides must return
+        estimates bit-identical to the per-item path.
+        """
+        return [query.evaluate(self) for query in queries]
 
     # ------------------------------------------------------------------ #
     # composite queries (defaults per Section III)
@@ -96,6 +153,15 @@ class TemporalGraphSummary(ABC):
 
     @staticmethod
     def check_range(t_start: int, t_end: int) -> None:
-        """Validate a temporal range, raising :class:`QueryError` if inverted."""
+        """Validate a temporal range.
+
+        Raises :class:`QueryError` on an inverted range (``t_end < t_start``)
+        or negative timestamps.  Every summary — HIGGS and all baselines —
+        funnels its query ranges through this single check so malformed
+        ranges fail identically everywhere instead of silently returning 0.
+        """
         if t_end < t_start:
             raise QueryError(f"inverted temporal range [{t_start}, {t_end}]")
+        if t_start < 0:
+            raise QueryError(
+                f"temporal range [{t_start}, {t_end}] has a negative timestamp")

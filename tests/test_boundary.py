@@ -79,6 +79,41 @@ class TestBoundarySearch:
         result = boundary_search(loaded_tree, 0, 599)
         assert result.nodes_visited > 0
 
+    def test_nodes_visited_excludes_phantom_children(self):
+        """Regression: positions past the last leaf are not real nodes.
+
+        With 5 leaves (fanout 4) the implicit tree spans 16 leaf slots; the
+        old counter charged the phantom subtrees under slots 5-15 as
+        "visited", inflating the efficiency metric.  A full-range search
+        inspects exactly 4 real nodes: the root position, the complete
+        level-2 group, the partial level-2 position, and leaf 4.
+        """
+        config = HiggsConfig(leaf_matrix_size=4, bucket_entries=1,
+                             fingerprint_bits=12, num_probes=1,
+                             enable_overflow_blocks=False)
+        hasher = VertexHasher(config.fingerprint_bits, config.leaf_matrix_size)
+        tree = HiggsTree(config)
+        i = 0
+        while tree.leaf_count < 5:
+            fs, hs = hasher.split(f"s{i}")
+            fd, hd = hasher.split(f"d{i}")
+            tree.insert_hashed(fs, fd, hs, hd, 1.0, i)
+            i += 1
+        assert tree.leaf_count == 5
+        t_max = max(leaf.t_max for leaf in tree.leaves)
+        result = boundary_search(tree, 0, t_max)
+        # root (3,0) + (2,0) complete + (2,1) partial + leaf 4 = 4 real nodes;
+        # phantom positions (2,2), (2,3) and leaves 5-7 must not count.
+        assert result.nodes_visited == 4
+
+    def test_nodes_visited_counts_real_nodes_on_full_tree(self, loaded_tree):
+        """Every visited position of a full-range search is a real node, so
+        the count is bounded by the number of nodes that exist."""
+        result = boundary_search(loaded_tree, 0, 599)
+        real_nodes = loaded_tree.leaf_count + sum(
+            len(nodes) for nodes in loaded_tree.internal_levels()) + 1
+        assert result.nodes_visited <= real_nodes
+
     def test_decompose_range_wrapper(self, loaded_tree):
         nodes, leaves = decompose_range(loaded_tree, 0, 599)
         result = boundary_search(loaded_tree, 0, 599)

@@ -1,0 +1,110 @@
+"""Edge-case tests for ``Higgs.delete`` (explicit entry deletion).
+
+Two behaviours the interface promises but were previously untested:
+
+* deleting an item that was never inserted leaves the summary untouched
+  (byte-identical structure, not merely equal query answers), and
+* deleting after upward aggregation decrements every materialized ancestor
+  aggregate, not only the leaf entry.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import Higgs, HiggsConfig
+from repro.core.aggregation import lift_coordinates
+
+
+def _small_config() -> HiggsConfig:
+    return HiggsConfig(leaf_matrix_size=4, bucket_entries=1,
+                       fingerprint_bits=12, num_probes=1,
+                       enable_overflow_blocks=False)
+
+
+def _loaded(items: int = 600) -> Higgs:
+    summary = Higgs(_small_config())
+    for i in range(items):
+        summary.insert(f"s{i}", f"d{i}", 1.0 + (i % 3), i)
+    return summary
+
+
+class TestDeleteNeverInserted:
+    def test_structure_byte_identical(self):
+        summary = _loaded()
+        before = pickle.dumps(summary.tree)
+        summary.delete("ghost-src", "ghost-dst", 1.0, 50)
+        assert pickle.dumps(summary.tree) == before
+
+    def test_version_unchanged_on_miss(self):
+        summary = _loaded()
+        version = summary.tree.version
+        summary.delete("ghost-src", "ghost-dst", 1.0, 50)
+        assert summary.tree.version == version
+
+    def test_wrong_timestamp_is_a_miss(self):
+        summary = _loaded()
+        before = pickle.dumps(summary.tree)
+        # Existing edge, but no entry at this timestamp.
+        summary.delete("s1", "d1", 1.0, 5_000)
+        assert pickle.dumps(summary.tree) == before
+
+
+class TestDeleteAfterAggregation:
+    def test_every_materialized_ancestor_decrements(self):
+        summary = _loaded(600)
+        tree = summary.tree
+        assert tree.height >= 3, "test needs materialized internal levels"
+
+        # Item i=0 lives in leaf 0; its ancestors are index 0 at every level.
+        source, destination, weight, timestamp = "s0", "d0", 1.0, 0
+        src_fp, src_addr = summary._hasher.split(source)
+        dst_fp, dst_addr = summary._hasher.split(destination)
+
+        ancestors = []
+        level = 2
+        while tree.internal_node(level, 0) is not None:
+            node = tree.internal_node(level, 0)
+            lifted_src = lift_coordinates(src_fp, src_addr, 1, level,
+                                          summary.config)
+            lifted_dst = lift_coordinates(dst_fp, dst_addr, 1, level,
+                                          summary.config)
+            ancestors.append((node, lifted_src, lifted_dst))
+            level += 1
+        assert len(ancestors) >= 2
+
+        before = [node.query_edge(src[0], dst[0], src[1], dst[1])
+                  for node, src, dst in ancestors]
+        summary.delete(source, destination, weight, timestamp)
+        after = [node.query_edge(src[0], dst[0], src[1], dst[1])
+                 for node, src, dst in ancestors]
+        for value_before, value_after in zip(before, after):
+            assert value_after == pytest.approx(value_before - weight)
+
+    def test_full_range_query_reflects_deletion(self):
+        summary = _loaded(600)
+        before = summary.edge_query("s0", "d0", 0, 1_000)
+        summary.delete("s0", "d0", 1.0, 0)
+        assert summary.edge_query("s0", "d0", 0, 1_000) == \
+            pytest.approx(before - 1.0)
+
+    def test_batch_built_summary_deletes_identically(self, small_stream):
+        per_item = Higgs(_small_config())
+        for edge in small_stream:
+            per_item.insert(edge.source, edge.destination,
+                            edge.weight, edge.timestamp)
+        batched = Higgs(_small_config())
+        batched.insert_stream(small_stream)
+
+        victim = small_stream[0]
+        per_item.delete(victim.source, victim.destination,
+                        victim.weight, victim.timestamp)
+        batched.delete(victim.source, victim.destination,
+                       victim.weight, victim.timestamp)
+        t_min, t_max = small_stream.time_span
+        assert per_item.edge_query(victim.source, victim.destination,
+                                   t_min, t_max) == \
+            batched.edge_query(victim.source, victim.destination,
+                               t_min, t_max)

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import Higgs, HiggsConfig
 from repro.core.parallel import PipelinedInserter, insert_stream_parallel
+from repro.streams.edge import StreamEdge
 
 
 def _config() -> HiggsConfig:
@@ -46,3 +49,57 @@ class TestPipelinedInserter:
     def test_batch_size_clamped_to_one(self):
         inserter = PipelinedInserter(Higgs(_config()), mode="batched", batch_size=0)
         assert inserter.batch_size == 1
+
+
+class TestThreadedConsumerFailure:
+    """Regression: a consumer-side exception must reach the caller promptly.
+
+    Before the fix, a dead consumer left the bounded work queue full, so the
+    producer blocked forever in ``put`` and never sent the shutdown sentinel
+    — the pipeline deadlocked instead of raising.
+    """
+
+    def _poisoned_summary(self, fail_after: int) -> Higgs:
+        summary = Higgs(_config())
+        original = summary.tree.insert_hashed
+        calls = {"n": 0}
+
+        def poisoned(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > fail_after:
+                raise RuntimeError("poisoned insert_hashed")
+            return original(*args, **kwargs)
+
+        summary.tree.insert_hashed = poisoned
+        return summary
+
+    def test_consumer_exception_propagates_without_hang(self):
+        # A small batch_size gives a small bounded queue (4 * batch_size),
+        # and the stream is far larger, so the pre-fix producer is guaranteed
+        # to block on `put` once the consumer dies.
+        summary = self._poisoned_summary(fail_after=3)
+        inserter = PipelinedInserter(summary, mode="threaded", batch_size=4)
+        stream = [StreamEdge(f"s{i}", f"d{i}", 1.0, i) for i in range(5_000)]
+
+        outcome: dict = {}
+
+        def run() -> None:
+            try:
+                inserter.insert_stream(stream)
+                outcome["result"] = "returned"
+            except RuntimeError as exc:
+                outcome["error"] = exc
+
+        caller = threading.Thread(target=run, daemon=True)
+        caller.start()
+        caller.join(timeout=15.0)
+        assert not caller.is_alive(), "threaded insert deadlocked"
+        assert "error" in outcome
+        assert "poisoned insert_hashed" in str(outcome["error"])
+
+    def test_immediate_consumer_failure_propagates(self):
+        summary = self._poisoned_summary(fail_after=0)
+        inserter = PipelinedInserter(summary, mode="threaded", batch_size=2)
+        stream = [StreamEdge(f"s{i}", f"d{i}", 1.0, i) for i in range(1_000)]
+        with pytest.raises(RuntimeError, match="poisoned"):
+            inserter.insert_stream(stream)

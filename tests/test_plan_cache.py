@@ -1,0 +1,99 @@
+"""Tests for the query-plan caches.
+
+HIGGS memoizes boundary-search decompositions per
+``(t_start, t_end, tree.version)`` (:class:`repro.core.boundary.QueryPlanCache`);
+the dyadic baselines memoize their interval decompositions process-wide.
+Both caches must be invisible to results and invalidate on mutation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Higgs, HiggsConfig
+from repro.baselines.dyadic import dyadic_intervals
+from repro.core.boundary import QueryPlanCache, boundary_search
+
+
+def _loaded_higgs(items: int = 600) -> Higgs:
+    summary = Higgs(HiggsConfig(leaf_matrix_size=4, bucket_entries=1,
+                                fingerprint_bits=12, num_probes=1,
+                                enable_overflow_blocks=False))
+    for i in range(items):
+        summary.insert(f"s{i}", f"d{i}", 1.0, i)
+    return summary
+
+
+class TestQueryPlanCache:
+    def test_repeated_range_hits_cache(self):
+        summary = _loaded_higgs()
+        baseline_hits = summary.plan_cache.hits
+        for _ in range(5):
+            summary.edge_query("s1", "d1", 100, 400)
+        stats = summary.plan_cache_stats()
+        assert stats["hits"] >= baseline_hits + 4
+
+    def test_cached_plan_matches_fresh_search(self):
+        summary = _loaded_higgs()
+        summary.edge_query("s1", "d1", 50, 450)  # populate the cache
+        cached = summary.plan_cache.lookup(summary.tree, 50, 450)
+        fresh = boundary_search(summary.tree, 50, 450)
+        assert [node.index for node in cached.aggregated_nodes] == \
+            [node.index for node in fresh.aggregated_nodes]
+        assert [leaf.index for leaf in cached.boundary_leaves] == \
+            [leaf.index for leaf in fresh.boundary_leaves]
+
+    def test_insert_invalidates_cached_plans(self):
+        summary = _loaded_higgs()
+        before = summary.edge_query("s1", "d1", 0, 10_000)
+        version = summary.tree.version
+        summary.insert("s1", "d1", 2.5, 700)
+        assert summary.tree.version > version
+        after = summary.edge_query("s1", "d1", 0, 10_000)
+        assert after == pytest.approx(before + 2.5)
+
+    def test_delete_invalidates_cached_plans(self):
+        summary = _loaded_higgs()
+        before = summary.edge_query("s3", "d3", 0, 10_000)
+        summary.delete("s3", "d3", 1.0, 3)
+        assert summary.edge_query("s3", "d3", 0, 10_000) == \
+            pytest.approx(before - 1.0)
+
+    def test_lru_eviction_bounds_size(self):
+        summary = _loaded_higgs(200)
+        cache = QueryPlanCache(maxsize=8)
+        for start in range(32):
+            cache.lookup(summary.tree, start, start + 50)
+        assert len(cache) <= 8
+        assert cache.stats()["misses"] == 32
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            QueryPlanCache(maxsize=0)
+
+    def test_shared_across_edge_and_vertex_queries(self):
+        summary = _loaded_higgs()
+        summary.edge_query("s1", "d1", 100, 400)
+        misses = summary.plan_cache.misses
+        summary.vertex_query("s1", 100, 400)
+        # Same range, unchanged tree: the vertex query reuses the plan.
+        assert summary.plan_cache.misses == misses
+
+
+class TestDyadicCache:
+    def test_memoized_decomposition_is_stable(self):
+        first = dyadic_intervals(13, 799, max_level=12)
+        second = dyadic_intervals(13, 799, max_level=12)
+        assert first == second
+        covered = []
+        for level, prefix in first:
+            start = prefix << level
+            covered.extend(range(start, start + (1 << level)))
+        assert covered == list(range(13, 800))
+
+    def test_allowed_levels_iterables_normalize(self):
+        as_list = dyadic_intervals(0, 255, allowed_levels=[0, 2, 4],
+                                   max_level=8)
+        as_tuple = dyadic_intervals(0, 255, allowed_levels=(4, 2, 0),
+                                    max_level=8)
+        assert as_list == as_tuple
