@@ -6,6 +6,8 @@ The package provides:
 * :class:`repro.Higgs` — the paper's hierarchical graph stream summary,
 * the baselines it is evaluated against (TCM, GSS, Auxo, PGSS, Horae,
   Horae-cpt, AuxoTime, AuxoTime-cpt) under :mod:`repro.baselines`,
+* the sharded scale-out engine (:class:`repro.ShardedSummary`) under
+  :mod:`repro.sharding`,
 * graph stream substrates (synthetic datasets, generators, readers) under
   :mod:`repro.streams`,
 * query workloads and accuracy metrics under :mod:`repro.queries` and
@@ -14,13 +16,15 @@ The package provides:
   evaluation under :mod:`repro.bench`.
 """
 
-from .core import Higgs, HiggsConfig
+from .core import Higgs, HiggsConfig, ShardingConfig
 from .summary import TemporalGraphSummary
 from .streams import GraphStream, StreamEdge
+from .sharding import HiggsShardFactory, ShardedSummary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Higgs", "HiggsConfig", "TemporalGraphSummary", "GraphStream", "StreamEdge",
+    "Higgs", "HiggsConfig", "ShardingConfig", "TemporalGraphSummary",
+    "GraphStream", "StreamEdge", "ShardedSummary", "HiggsShardFactory",
     "__version__",
 ]

@@ -59,18 +59,32 @@ EXPERIMENTS: Dict[str, tuple] = {
     "batch": (experiments.run_batch_speedup,
               "Batch Ingestion Speedup (insert_batch vs insert)",
               "batch_speedup.txt"),
+    "sharded": (experiments.run_sharded_scaling,
+                "Sharded Ingestion Scaling (wall-clock and projected parallel)",
+                "sharded_scaling.txt"),
 }
 
 #: Experiments whose runners accept a ``scale`` keyword (dataset-based ones).
 _SCALED = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
-           "fig16", "fig18", "fig19", "fig20a", "fig20b", "fig21", "batch"}
+           "fig16", "fig18", "fig19", "fig20a", "fig20b", "fig21", "batch",
+           "sharded"}
+
+
+def _experiments_epilog() -> str:
+    """One line per registered experiment, rendered into ``--help``."""
+    lines = ["experiments:"]
+    for experiment_id, (_runner, title, _filename) in EXPERIMENTS.items():
+        lines.append(f"  {experiment_id:8s} {title}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Regenerate the HIGGS paper's evaluation tables and figures.")
+        description="Regenerate the HIGGS paper's evaluation tables and figures.",
+        epilog=_experiments_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiment ids")

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..baselines import (AuxoTime, AuxoTimeCompact, Horae, HoraeCompact, PGSS)
 from ..core import Higgs, HiggsConfig
+from ..sharding import HiggsShardFactory, ShardedSummary
 from ..streams.edge import GraphStream
 from ..summary import DEFAULT_BATCH_SIZE, TemporalGraphSummary
 
@@ -122,6 +123,41 @@ def make_methods(stream: GraphStream, *,
     if unknown:
         raise KeyError(f"unknown methods requested: {unknown}")
     return {name: factories[name]() for name in selected}
+
+
+def make_sharded_higgs(stream: GraphStream, shards: int, *,
+                       executor: str = "serial",
+                       partition_by: str = "source",
+                       batch_size: int = DEFAULT_BATCH_SIZE,
+                       z_multiple: float = DEFAULT_Z_MULTIPLE) -> ShardedSummary:
+    """Construct a sharded HIGGS engine parameterized for ``stream``.
+
+    Every shard runs the *same* HIGGS configuration the unsharded baseline
+    would use for this stream (:func:`scaled_higgs_config` on the full
+    stream size), so per-item work and per-shard accuracy are directly
+    comparable across shard counts; only the partitioning and the tree depth
+    per shard change.
+
+    Parameters
+    ----------
+    stream:
+        The stream the engine will summarize (sizes the per-shard config).
+    shards:
+        Number of shards.
+    executor:
+        Shard executor mode (``"serial"``, ``"thread"``, ``"process"``, or
+        ``"auto"``).
+    partition_by:
+        Partition key mode (``"source"`` or ``"edge"``).
+    batch_size:
+        Per-shard batch size used by the engine's stream replay.
+    z_multiple:
+        HIGGS hash-range multiple (see :func:`scaled_higgs_config`).
+    """
+    config = scaled_higgs_config(max(1, len(stream)), z_multiple=z_multiple)
+    return ShardedSummary(HiggsShardFactory(config), shards=shards,
+                          executor=executor, partition_by=partition_by,
+                          batch_size=batch_size)
 
 
 def ingest(summary: TemporalGraphSummary, stream: GraphStream, *,

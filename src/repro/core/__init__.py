@@ -1,8 +1,11 @@
 """HIGGS core: hashing, compressed matrices, the aggregated B-tree, and the
 public :class:`Higgs` summary."""
 
-from .config import HiggsConfig
-from .hashing import VertexHasher, hash64, hash_pair, lift_address
+from .config import HiggsConfig, ShardingConfig
+from .executor import (InlineShardWorker, ProcessShardWorker, QueueWorker,
+                       ShardResult, ShardWorker, ThreadShardWorker,
+                       make_shard_worker, resolve_executor)
+from .hashing import VertexHasher, hash64, hash_pair, lift_address, shard_of
 from .matrix import CompressedMatrix, MatrixEntry
 from .node import InternalNode, LeafNode
 from .tree import HiggsTree
@@ -12,9 +15,13 @@ from .higgs import Higgs
 from .parallel import PipelinedInserter, insert_stream_parallel
 
 __all__ = [
-    "HiggsConfig", "VertexHasher", "hash64", "hash_pair", "lift_address",
+    "HiggsConfig", "ShardingConfig", "VertexHasher", "hash64", "hash_pair",
+    "lift_address", "shard_of",
     "CompressedMatrix", "MatrixEntry", "InternalNode", "LeafNode",
     "HiggsTree", "RangeDecomposition", "boundary_search", "decompose_range",
     "aggregate_internal", "aggregate_leaves", "lift_coordinates",
     "Higgs", "PipelinedInserter", "insert_stream_parallel",
+    "QueueWorker", "ShardResult", "ShardWorker", "InlineShardWorker",
+    "ThreadShardWorker", "ProcessShardWorker", "make_shard_worker",
+    "resolve_executor",
 ]

@@ -115,3 +115,64 @@ class HiggsConfig:
         fingerprint_bits = 2 * self.fingerprint_bits_at(level)
         id_bytes = math.ceil((fingerprint_bits + probe_bits) / 8)
         return id_bytes + self.weight_bytes
+
+
+#: Executor modes accepted by :class:`ShardingConfig`.
+SHARD_EXECUTORS = ("serial", "thread", "process", "auto")
+
+#: Partition-key modes accepted by :class:`ShardingConfig`.
+SHARD_PARTITION_MODES = ("source", "edge")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardingConfig:
+    """Tunable parameters of a :class:`~repro.sharding.ShardedSummary`.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of independent inner summaries the edge stream is
+        hash-partitioned across.  Must be >= 1; ``1`` degenerates to a
+        pass-through wrapper whose behaviour is bit-identical to the wrapped
+        summary.
+    partition_by:
+        Partition key.  ``"source"`` (default) assigns each edge to the
+        shard of its source vertex, so outgoing vertex queries and edge
+        queries route to a single shard; ``"edge"`` hashes the
+        ``(source, destination)`` pair, which balances better under
+        source-vertex skew but forces every vertex query to scatter.
+    executor:
+        How per-shard work is driven: ``"serial"`` runs shards inline in the
+        calling thread, ``"thread"`` gives each shard a worker thread
+        (bounded by the GIL for pure-Python summaries), ``"process"`` gives
+        each shard a worker process (true parallelism; the shard factory and
+        all arguments must be picklable), and ``"auto"`` picks ``"process"``
+        on multi-core machines and ``"serial"`` otherwise.
+    batch_size:
+        Per-shard batch size used when a stream is replayed through the
+        engine; the engine reads ``num_shards * batch_size`` items per
+        partition round so every shard sees full batches.
+    hash_seed:
+        Seed of the shard-assignment hash (see
+        :func:`~repro.core.hashing.shard_of`).
+    """
+
+    num_shards: int = 4
+    partition_by: str = "source"
+    executor: str = "serial"
+    batch_size: int = 1024
+    hash_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if self.partition_by not in SHARD_PARTITION_MODES:
+            raise ConfigurationError(
+                f"partition_by must be one of {SHARD_PARTITION_MODES}, "
+                f"got {self.partition_by!r}")
+        if self.executor not in SHARD_EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {SHARD_EXECUTORS}, "
+                f"got {self.executor!r}")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")

@@ -1,0 +1,413 @@
+"""Shared worker/executor abstraction for pipelined and sharded execution.
+
+Two execution patterns in this codebase need a background worker that owns
+mutable summary state:
+
+* the **pipelined inserter** (:mod:`repro.core.parallel`) streams many small
+  work items through a bounded queue into one consumer thread, and
+* the **sharded summary engine** (:mod:`repro.sharding`) scatters batch-sized
+  method calls across one worker per shard and gathers the results.
+
+This module provides both building blocks:
+
+* :class:`QueueWorker` — a bounded-queue consumer thread with
+  drain-on-failure semantics (the producer can never deadlock on a dead
+  consumer), extracted from the original ``PipelinedInserter`` so every
+  queue-driven pipeline shares one battle-tested lifecycle.
+* :class:`ShardWorker` and its three implementations
+  (:class:`InlineShardWorker`, :class:`ThreadShardWorker`,
+  :class:`ProcessShardWorker`) — a uniform submit/collect protocol for
+  dispatching named method calls to a long-lived target object, inline, on a
+  thread, or in a child process.
+
+Every shard worker tracks the cumulative wall-clock time it spent executing
+calls (:meth:`ShardWorker.busy_seconds`), which the benchmark harness uses to
+report per-shard load balance and projected parallel ingest time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ShardingError
+
+#: Reserved method name: returns the worker's busy-time counter instead of
+#: invoking the target (handled uniformly by every worker implementation).
+BUSY_SECONDS_OP = "__busy_seconds__"
+
+
+class QueueWorker:
+    """A consumer thread draining a bounded queue of work items.
+
+    Parameters
+    ----------
+    handler:
+        Callable invoked once per submitted item.  Exceptions raised by the
+        handler are recorded (the first one is re-raised by :meth:`close`)
+        and flip :attr:`failed`.
+    name:
+        Thread name (useful in stack dumps).
+    maxsize:
+        Bound of the work queue; producers block in :meth:`put` when the
+        consumer falls behind.
+
+    A consumer-side exception must not deadlock the producer: the bounded
+    queue would fill while the dead consumer never drains it, and the
+    producer would block in ``put`` before ever sending the shutdown
+    sentinel.  On error the consumer therefore keeps consuming (and
+    discarding) items until the sentinel arrives, while producers can stop
+    early as soon as they observe :attr:`failed`.
+    """
+
+    def __init__(self, handler: Callable[[Any], None], *, name: str = "queue-worker",
+                 maxsize: int = 4096) -> None:
+        self._handler = handler
+        self._queue: "queue.Queue[Optional[Any]]" = queue.Queue(maxsize=maxsize)
+        self._errors: List[BaseException] = []
+        self._failed = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def failed(self) -> bool:
+        """True once the handler has raised; producers should stop early."""
+        return self._failed.is_set()
+
+    def put(self, item: Any) -> None:
+        """Enqueue one work item (blocks when the queue is full)."""
+        self._queue.put(item)
+
+    def close(self) -> None:
+        """Send the shutdown sentinel, join the thread, and re-raise the
+        first handler exception if one occurred."""
+        self._queue.put(None)
+        self._thread.join()
+        if self._errors:
+            raise self._errors[0]
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            try:
+                self._handler(item)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in close()
+                self._errors.append(exc)
+                self._failed.set()
+                # Drain until the sentinel so producers never block on the
+                # bounded queue.
+                while self._queue.get() is not None:
+                    pass
+                return
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """Outcome of one shard-worker call.
+
+    Attributes
+    ----------
+    ok:
+        True when the call returned normally.
+    value:
+        The call's return value (None on failure).
+    error:
+        The exception that aborted the call (None on success).  For process
+        workers the original exception cannot always cross the process
+        boundary, so it is re-materialized as a :class:`ShardingError`
+        carrying the original type name and message.
+    """
+
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+class ShardWorker(ABC):
+    """One long-lived worker owning a target object (an inner summary).
+
+    The protocol is submit/collect: :meth:`submit` dispatches a named method
+    call on the target, :meth:`collect` returns one :class:`ShardResult` per
+    submitted call, in submission order.  Callers keep at most a small,
+    bounded number of calls in flight (the sharded engine submits one call
+    per scatter round), so collection order is trivially deterministic.
+    """
+
+    @abstractmethod
+    def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
+        """Dispatch ``target.<method>(*args, **kwargs)`` asynchronously."""
+
+    @abstractmethod
+    def collect(self) -> ShardResult:
+        """Return the result of the oldest submitted, uncollected call."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Shut the worker down and release its resources (idempotent)."""
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> ShardResult:
+        """Synchronous convenience: submit one call and collect its result."""
+        self.submit(method, args, kwargs or None)
+        return self.collect()
+
+    def busy_seconds(self) -> float:
+        """Cumulative wall-clock seconds this worker spent executing calls."""
+        result = self.call(BUSY_SECONDS_OP)
+        return float(result.value) if result.ok else 0.0
+
+
+def _timed_invoke(target: Any, method: str, args: Tuple, kwargs: Optional[dict],
+                  busy: List[float]) -> Any:
+    """Invoke ``target.<method>`` and add the elapsed time to ``busy[0]``."""
+    start = time.perf_counter()
+    try:
+        bound = getattr(target, method)
+        return bound(*args) if not kwargs else bound(*args, **kwargs)
+    finally:
+        busy[0] += time.perf_counter() - start
+
+
+class InlineShardWorker(ShardWorker):
+    """Executes calls synchronously in the caller's thread.
+
+    This is the ``"serial"`` executor mode: no concurrency, no queues, and
+    direct access to the target object (used by tests and by analyses that
+    inspect per-shard structures).
+    """
+
+    def __init__(self, factory: Callable[[], Any]) -> None:
+        self.target = factory()
+        self._busy = [0.0]
+        self._pending: List[ShardResult] = []
+
+    def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
+        if method == BUSY_SECONDS_OP:
+            self._pending.append(ShardResult(True, self._busy[0]))
+            return
+        try:
+            value = _timed_invoke(self.target, method, args, kwargs, self._busy)
+            self._pending.append(ShardResult(True, value))
+        except BaseException as exc:  # noqa: BLE001 - reported via ShardResult
+            self._pending.append(ShardResult(False, None, exc))
+
+    def collect(self) -> ShardResult:
+        return self._pending.pop(0)
+
+    def close(self) -> None:
+        self._pending.clear()
+
+
+class ThreadShardWorker(ShardWorker):
+    """Executes calls on a dedicated worker thread.
+
+    Keeps the scatter/gather structure truly concurrent for targets that
+    release the GIL (or on free-threaded interpreters); for pure-Python
+    targets it mainly provides the same isolation semantics as the process
+    worker without pickling.  The target object is constructed in the caller
+    thread and remains directly accessible as :attr:`target`; all method
+    execution happens on the worker thread, keeping per-shard mutation
+    single-threaded.
+    """
+
+    def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
+        self.target = factory()
+        self._busy = [0.0]
+        self._results: "queue.Queue[ShardResult]" = queue.Queue()
+        self._tasks: "queue.Queue[Optional[Tuple[str, Tuple, Optional[dict]]]]" = \
+            queue.Queue()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+        self._closed = False
+
+    def _run(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            method, args, kwargs = task
+            if method == BUSY_SECONDS_OP:
+                self._results.put(ShardResult(True, self._busy[0]))
+                continue
+            try:
+                value = _timed_invoke(self.target, method, args, kwargs, self._busy)
+                self._results.put(ShardResult(True, value))
+            except BaseException as exc:  # noqa: BLE001 - reported via ShardResult
+                self._results.put(ShardResult(False, None, exc))
+
+    def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
+        if self._closed:
+            raise ShardingError("submit on a closed shard worker")
+        self._tasks.put((method, args, kwargs))
+
+    def collect(self) -> ShardResult:
+        return self._results.get()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tasks.put(None)
+            self._thread.join()
+
+
+def _process_worker_main(factory: Callable[[], Any], conn) -> None:
+    """Entry point of a shard worker process.
+
+    Builds the target from ``factory``, acknowledges readiness, then serves
+    ``(method, args, kwargs)`` requests until the ``None`` sentinel arrives.
+    Exceptions are reduced to ``(type name, message)`` pairs because arbitrary
+    exception objects may not pickle.
+    """
+    try:
+        target = factory()
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        conn.send(("fatal", (type(exc).__name__, str(exc))))
+        conn.close()
+        return
+    conn.send(("ready", None))
+    busy = [0.0]
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            break
+        if request is None:
+            break
+        method, args, kwargs = request
+        if method == BUSY_SECONDS_OP:
+            conn.send(("ok", busy[0]))
+            continue
+        try:
+            value = _timed_invoke(target, method, args, kwargs, busy)
+            conn.send(("ok", value))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("err", (type(exc).__name__, str(exc))))
+    conn.close()
+
+
+class ProcessShardWorker(ShardWorker):
+    """Executes calls in a dedicated child process (true parallelism).
+
+    The factory and every call's arguments and return value must be
+    picklable.  The target lives exclusively in the child, so
+    :attr:`target` is ``None`` here; engines that need direct access to
+    shard summaries must use the serial or thread executor.
+
+    Raises
+    ------
+    ShardingError
+        From the constructor when the factory fails in the child, and from
+        :meth:`collect` when the child dies mid-call.
+    """
+
+    target = None
+
+    def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
+        ctx = multiprocessing.get_context()
+        self._conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(target=_process_worker_main,
+                                    args=(factory, child_conn),
+                                    name=name, daemon=True)
+        self._process.start()
+        child_conn.close()
+        self._closed = False
+        #: One marker per uncollected submit: "sent" means a result will
+        #: arrive on the pipe, "failed" means the send itself failed and
+        #: collect() must synthesize the failure.  Keeping the markers in
+        #: submission order preserves the submit/collect pairing even when
+        #: the child dies mid-scatter.
+        self._submit_markers: List[str] = []
+        status, payload = self._conn.recv()
+        if status != "ready":
+            type_name, message = payload
+            self._process.join()
+            self._closed = True
+            raise ShardingError(
+                f"shard worker factory failed in child process: "
+                f"{type_name}: {message}")
+
+    def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
+        if self._closed:
+            raise ShardingError("submit on a closed shard worker")
+        try:
+            self._conn.send((method, args, kwargs))
+        except (BrokenPipeError, OSError):
+            # A dead child must not leak a raw OSError out of submit (and
+            # thereby desynchronize the caller's scatter loop); the failure
+            # is delivered through the matching collect() instead.
+            self._submit_markers.append("failed")
+            return
+        self._submit_markers.append("sent")
+
+    def collect(self) -> ShardResult:
+        marker = self._submit_markers.pop(0) if self._submit_markers else "sent"
+        if marker == "failed":
+            return ShardResult(False, None,
+                               ShardingError("shard worker process died"))
+        try:
+            status, payload = self._conn.recv()
+        except (EOFError, OSError):
+            return ShardResult(False, None,
+                               ShardingError("shard worker process died"))
+        if status == "ok":
+            return ShardResult(True, payload)
+        type_name, message = payload
+        return ShardResult(False, None,
+                           ShardingError(f"shard worker call failed: "
+                                         f"{type_name}: {message}"))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=5)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._conn.close()
+
+
+def resolve_executor(mode: str) -> str:
+    """Resolve the ``"auto"`` executor mode against the current machine.
+
+    ``"auto"`` picks ``"process"`` when more than one CPU is available to
+    this process and ``"serial"`` otherwise (worker processes only add IPC
+    overhead on a single core).  Explicit modes pass through unchanged.
+    """
+    if mode != "auto":
+        return mode
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return "process" if cpus > 1 else "serial"
+
+
+def make_shard_worker(mode: str, factory: Callable[[], Any], *,
+                      name: str = "shard") -> ShardWorker:
+    """Build one :class:`ShardWorker` for the resolved executor ``mode``.
+
+    Raises
+    ------
+    ShardingError
+        If ``mode`` is not a known executor mode.
+    """
+    mode = resolve_executor(mode)
+    if mode == "serial":
+        return InlineShardWorker(factory)
+    if mode == "thread":
+        return ThreadShardWorker(factory, name=name)
+    if mode == "process":
+        return ProcessShardWorker(factory, name=name)
+    raise ShardingError(f"unknown shard executor mode {mode!r}")

@@ -67,6 +67,38 @@ def hash_pair(key: object, salt: int, seed: int = 0) -> int:
     return (z ^ (z >> 32)) & _MASK64
 
 
+def shard_of(key: object, num_shards: int, seed: int = 0) -> int:
+    """Map ``key`` to a shard index in ``[0, num_shards)``.
+
+    This is the single shard-assignment function shared by the sharded
+    summary engine (:mod:`repro.sharding`) and the shard-skew workload
+    generators (:mod:`repro.streams.generators`), so a stream biased toward
+    particular shards and the engine that partitions it always agree.  The
+    mapping is deterministic, stable across processes (it builds on
+    :func:`hash64`, not the salted built-in ``hash``), and uniform for
+    ``num_shards`` far below ``2^64``.
+
+    Parameters
+    ----------
+    key:
+        The partition key (a vertex identifier, or any hashable stream key).
+    num_shards:
+        Number of shards; must be >= 1.
+    seed:
+        Seed selecting an independent shard assignment.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``num_shards`` is not positive.
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be >= 1")
+    if num_shards == 1:
+        return 0
+    return hash64(key, seed) % num_shards
+
+
 def probe_step(fingerprint: int) -> int:
     """Return the odd linear-congruential step used for probe sequences.
 

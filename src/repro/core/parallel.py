@@ -25,11 +25,10 @@ Both modes produce a structure identical to sequential insertion.
 
 from __future__ import annotations
 
-import queue
-import threading
-from typing import Callable, Iterable, List, Optional
+from typing import Iterable
 
 from ..streams.edge import GraphStream, StreamEdge
+from .executor import QueueWorker
 from .higgs import Higgs
 
 
@@ -86,52 +85,37 @@ class PipelinedInserter:
         updates in a dedicated worker thread (one consumer keeps updates
         sequential, matching the element-level ordering the paper requires).
 
-        A consumer-side exception must not deadlock the producer: the bounded
-        queue would fill while the dead consumer never drains it, and the
-        producer would block in ``put`` before ever sending the ``None``
-        sentinel.  On error the consumer therefore keeps consuming (and
-        discarding) items until the sentinel arrives, while the producer
-        stops early as soon as it observes the failure flag.
+        The queue lifecycle — bounded back-pressure, shutdown sentinel, and
+        the drain-on-failure guarantee that a dead consumer can never
+        deadlock the producer — lives in the shared
+        :class:`~repro.core.executor.QueueWorker`; this method only supplies
+        the per-item handler and stops producing early once the worker has
+        failed.  The worker's first exception is re-raised here.
         """
-        work: "queue.Queue[Optional[tuple]]" = queue.Queue(maxsize=4 * self.batch_size)
         hasher = self.summary._hasher
         tree = self.summary.tree
         inserted = 0
-        errors: List[BaseException] = []
-        failed = threading.Event()
 
-        def consumer() -> None:
+        def apply(item: tuple) -> None:
             nonlocal inserted
-            while True:
-                item = work.get()
-                if item is None:
-                    return
-                try:
-                    fs, fd, hs, hd, weight, timestamp = item
-                    tree.insert_hashed(fs, fd, hs, hd, weight, timestamp)
-                    inserted += 1
-                except BaseException as exc:
-                    errors.append(exc)
-                    failed.set()
-                    # Drain until the sentinel so the producer never blocks
-                    # on the bounded queue.
-                    while work.get() is not None:
-                        pass
-                    return
+            fs, fd, hs, hd, weight, timestamp = item
+            tree.insert_hashed(fs, fd, hs, hd, weight, timestamp)
+            inserted += 1
 
-        worker = threading.Thread(target=consumer, name="higgs-aggregator",
-                                  daemon=True)
-        worker.start()
-        for edge in stream:
-            if failed.is_set():
-                break
-            fs, hs = hasher.split(edge.source)
-            fd, hd = hasher.split(edge.destination)
-            work.put((fs, fd, hs, hd, edge.weight, int(edge.timestamp)))
-        work.put(None)
-        worker.join()
-        if errors:
-            raise errors[0]
+        worker = QueueWorker(apply, name="higgs-aggregator",
+                             maxsize=4 * self.batch_size)
+        try:
+            for edge in stream:
+                if worker.failed:
+                    break
+                fs, hs = hasher.split(edge.source)
+                fd, hd = hasher.split(edge.destination)
+                worker.put((fs, fd, hs, hd, edge.weight, int(edge.timestamp)))
+        finally:
+            # Runs even when the stream iterable itself raises: the sentinel
+            # must always be sent or the worker thread would leak, blocked on
+            # the queue forever (and its recorded first error would be lost).
+            worker.close()
         return inserted
 
 

@@ -1,10 +1,13 @@
-"""The HIGGS tree: an append-only, bottom-up aggregated B-tree of matrices.
+"""The HIGGS tree — an append-only, bottom-up aggregated B-tree of matrices.
 
-Leaves hold timestamped compressed matrices built directly from the arriving
-stream; whenever a group of ``θ`` consecutive nodes at one layer is complete,
-an aggregated parent node is materialized one layer up (Algorithm 1 + 2).
-The tree works on *hashed* items — the public :class:`~repro.core.higgs.Higgs`
-class owns the vertex hasher and passes fingerprint/address pairs down.
+This module implements the paper's central data structure.  Leaves hold
+timestamped compressed matrices built directly from the arriving stream;
+whenever a group of ``θ`` consecutive nodes at one layer is complete, an
+aggregated parent node is materialized one layer up (Algorithm 1 + 2).  The
+tree operates on *hashed* items throughout: the public
+:class:`~repro.core.higgs.Higgs` class owns the vertex hasher and passes
+fingerprint/address pairs down, which keeps the structural code independent
+of vertex identifier types.
 
 Timestamps are expected to be non-decreasing across inserts (the natural
 order of a stream replay).  Out-of-order inserts are still stored correctly —

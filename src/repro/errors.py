@@ -29,6 +29,18 @@ class QueryError(ReproError):
     """Raised when a query is malformed (e.g. an empty or inverted time range)."""
 
 
+class ShardingError(ReproError):
+    """Raised when a sharded summary engine fails.
+
+    Covers shard-worker failures during scatter-gather operations (the
+    message names the failing shard and the failed operation; the original
+    exception is attached as ``__cause__``), dead or unreachable shard
+    worker processes, and operations that are unavailable in the configured
+    executor mode (e.g. direct access to shard summaries living in worker
+    processes).
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated, parsed, or validated."""
 

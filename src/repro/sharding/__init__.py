@@ -1,0 +1,26 @@
+"""Sharded ingestion and querying on top of the batch substrate.
+
+This package scales any :class:`~repro.summary.TemporalGraphSummary` out
+across ``N`` hash-partitioned shards:
+
+* :class:`ShardPartitioner` assigns stream items to shards by a stable hash
+  of the partition key (source vertex, or the whole edge),
+* :class:`ShardedSummary` is the engine: it routes inserts and deletes to
+  owning shards, drives per-shard ingestion through each summary's native
+  ``insert_batch`` fast path (serially, on worker threads, or on worker
+  processes), and answers edge / vertex / path / subgraph queries by
+  scatter-gather with an exact sum-merge,
+* :class:`HiggsShardFactory` is the picklable default factory building one
+  HIGGS summary per shard.
+
+The worker machinery (inline / thread / process execution with a uniform
+submit-collect protocol) lives in :mod:`repro.core.executor` and is shared
+with the pipelined inserter.
+"""
+
+from .engine import HiggsShardFactory, ShardedSummary
+from .partition import PARTITION_MODES, ShardPartitioner
+
+__all__ = [
+    "HiggsShardFactory", "ShardedSummary", "ShardPartitioner", "PARTITION_MODES",
+]

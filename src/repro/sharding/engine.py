@@ -1,0 +1,482 @@
+"""The sharded summary engine: scatter-gather over independent summaries.
+
+:class:`ShardedSummary` hash-partitions an edge stream across ``N``
+independent inner summaries (HIGGS by default, any
+:class:`~repro.summary.TemporalGraphSummary` via a factory) and presents the
+union as one summary implementing the same interface:
+
+* **Ingestion** routes every item to the shard owning its partition key;
+  batches are split once and driven through each shard's native
+  ``insert_batch`` fast path, concurrently when the executor allows it.
+* **Queries** route to a single shard when the partition key pins the answer
+  there (edge queries always; outgoing vertex queries under source
+  partitioning) and scatter-gather otherwise: each involved shard answers
+  over its slice and the engine sums the per-shard estimates.  Summing is
+  exact because the shards partition the stream — every stream item is
+  counted by exactly one shard.
+* **Accounting** (``memory_bytes``, per-shard item counts) aggregates over
+  shards.
+
+With ``num_shards == 1`` the engine is a pass-through wrapper: every item
+and every query reaches the single inner summary in the original order, so
+results are bit-identical to using the inner summary directly (tests enforce
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import HiggsConfig, ShardingConfig
+from ..core.executor import ShardResult, ShardWorker, make_shard_worker, resolve_executor
+from ..core.higgs import Higgs
+from ..errors import QueryError, ShardingError
+from ..streams.edge import GraphStream, StreamEdge, Vertex
+from ..summary import TemporalGraphSummary
+from .partition import ShardPartitioner
+
+
+class HiggsShardFactory:
+    """Picklable factory building one HIGGS summary per shard.
+
+    Process-mode shard workers rebuild their summary inside the child
+    process, so the factory must survive pickling — lambdas and closures do
+    not.  This class does: it carries only the (frozen, picklable)
+    :class:`~repro.core.config.HiggsConfig`.
+
+    Parameters
+    ----------
+    config:
+        Configuration applied to every shard's summary; ``None`` uses the
+        paper's default configuration.
+    """
+
+    def __init__(self, config: Optional[HiggsConfig] = None) -> None:
+        self.config = config
+
+    def __call__(self) -> Higgs:
+        """Build one fresh :class:`~repro.core.higgs.Higgs` summary."""
+        return Higgs(self.config)
+
+
+class ShardedSummary(TemporalGraphSummary):
+    """A :class:`~repro.summary.TemporalGraphSummary` sharded across workers.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one inner summary per shard.
+        Defaults to :class:`HiggsShardFactory` with the paper's default
+        configuration.  Must be picklable when ``executor="process"``.
+    shards:
+        Number of shards; overrides ``config.num_shards`` when given.
+    config:
+        Full engine configuration (:class:`~repro.core.config.ShardingConfig`);
+        individual keyword arguments below override its fields.
+    partition_by:
+        ``"source"`` (default) or ``"edge"`` — see
+        :class:`~repro.sharding.partition.ShardPartitioner`.
+    executor:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` — see
+        :class:`~repro.core.config.ShardingConfig`.
+    batch_size:
+        Per-shard batch size used by :meth:`insert_stream`.
+
+    Raises
+    ------
+    ConfigurationError
+        On invalid configuration values.
+    ShardingError
+        When a shard worker cannot be started (e.g. the factory fails inside
+        a worker process).
+
+    Notes
+    -----
+    **Error semantics.**  Operations that touch a single shard (``insert``,
+    ``delete``, routed queries) re-raise the shard's exception unchanged —
+    the engine is transparent.  Operations that scatter across shards
+    (``insert_batch``, broadcast queries, ``memory_bytes``) let every shard
+    finish first, then raise :class:`~repro.errors.ShardingError` naming the
+    failed shards, with the first underlying exception as ``__cause__``.
+    After a partial ``insert_batch`` failure the engine remains usable and
+    :meth:`items_ingested` still equals the sum of the per-shard
+    acknowledged counts (tests enforce this).
+    """
+
+    name = "Sharded"
+
+    def __init__(self, factory: Optional[Callable[[], TemporalGraphSummary]] = None,
+                 *, shards: Optional[int] = None,
+                 config: Optional[ShardingConfig] = None,
+                 partition_by: Optional[str] = None,
+                 executor: Optional[str] = None,
+                 batch_size: Optional[int] = None) -> None:
+        base = config or ShardingConfig()
+        self.config = ShardingConfig(
+            num_shards=shards if shards is not None else base.num_shards,
+            partition_by=partition_by if partition_by is not None else base.partition_by,
+            executor=executor if executor is not None else base.executor,
+            batch_size=batch_size if batch_size is not None else base.batch_size,
+            hash_seed=base.hash_seed)
+        self.executor_mode = resolve_executor(self.config.executor)
+        self.factory = factory if factory is not None else HiggsShardFactory()
+        self._partitioner = ShardPartitioner(self.config.num_shards,
+                                             partition_by=self.config.partition_by,
+                                             seed=self.config.hash_seed)
+        self._workers: List[ShardWorker] = []
+        try:
+            for index in range(self.config.num_shards):
+                self._workers.append(make_shard_worker(
+                    self.executor_mode, self.factory, name=f"shard-{index}"))
+        except BaseException:
+            self.close()
+            raise
+        self._shard_items = [0] * self.config.num_shards
+        self._closed = False
+        self.name = f"Sharded[{self.config.num_shards}]"
+
+    # ------------------------------------------------------------------ #
+    # scatter-gather plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the stream is partitioned across."""
+        return self.config.num_shards
+
+    @property
+    def partitioner(self) -> ShardPartitioner:
+        """The partitioner assigning stream items to shards."""
+        return self._partitioner
+
+    def _scatter(self, calls: Dict[int, Tuple[str, Tuple]]) -> Dict[int, ShardResult]:
+        """Submit one call per involved shard, then gather every result.
+
+        Shards are visited in index order both when submitting and when
+        collecting, so gather-side floating-point accumulation is
+        deterministic.  All results are collected even when some fail;
+        callers decide how to surface failures.
+        """
+        order = sorted(calls)
+        for shard in order:
+            method, args = calls[shard]
+            self._workers[shard].submit(method, args)
+        return {shard: self._workers[shard].collect() for shard in order}
+
+    def _call_shard(self, shard: int, method: str, *args) -> ShardResult:
+        """Route one call to one shard and return its result."""
+        return self._workers[shard].call(method, *args)
+
+    @staticmethod
+    def _reraise(result: ShardResult):
+        """Re-raise a single-shard failure transparently."""
+        raise result.error
+
+    def _raise_scatter_failure(self, operation: str,
+                               results: Dict[int, ShardResult]) -> None:
+        """Raise :class:`ShardingError` if any scattered call failed."""
+        failed = [shard for shard, result in results.items() if not result.ok]
+        if not failed:
+            return
+        first = results[failed[0]].error
+        raise ShardingError(
+            f"{operation} failed on shard(s) {failed}: {first}") from first
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, source: Vertex, destination: Vertex, weight: float,
+               timestamp: int) -> None:
+        """Insert one stream item into the shard owning its partition key.
+
+        Raises whatever the owning shard's ``insert`` raises, unchanged.
+        """
+        shard = self._partitioner.shard_of_edge(source, destination)
+        result = self._call_shard(shard, "insert", source, destination,
+                                  weight, timestamp)
+        if not result.ok:
+            self._reraise(result)
+        self._shard_items[shard] += 1
+
+    def insert_batch(self, edges) -> int:
+        """Partition a batch once and drive every shard's native batch path.
+
+        The batch is split by partition key (preserving arrival order within
+        each shard), the per-shard sub-batches are dispatched concurrently
+        (executor permitting), and the acknowledged counts are summed.
+
+        Returns the number of items acknowledged by shards.  If any shard
+        fails, the remaining shards still finish, their counts are recorded,
+        and a :class:`~repro.errors.ShardingError` naming the failed shards
+        is raised (items of failed sub-batches are not counted).
+        """
+        parts = self._partitioner.split(edges)
+        calls = {shard: ("insert_batch", (part,))
+                 for shard, part in enumerate(parts) if part}
+        if not calls:
+            return 0
+        results = self._scatter(calls)
+        inserted = 0
+        for shard, result in results.items():
+            if result.ok:
+                self._shard_items[shard] += result.value
+                inserted += result.value
+        self._raise_scatter_failure("insert_batch", results)
+        return inserted
+
+    def insert_stream(self, stream, *, batch_size: Optional[int] = None) -> int:
+        """Replay a stream through the engine in partition rounds.
+
+        Reads ``num_shards * batch_size`` items per round so that, after
+        partitioning, every shard still receives full ``batch_size`` batches
+        — per-shard batch sizes (and therefore per-shard memo amortization)
+        stay comparable across shard counts.  Returns the number of items
+        acknowledged by shards.
+        """
+        per_shard = self.config.batch_size if batch_size is None else max(1, batch_size)
+        round_size = per_shard * self.config.num_shards
+        count = 0
+        chunk: List[StreamEdge] = []
+        append = chunk.append
+        for edge in stream:
+            append(edge)
+            if len(chunk) >= round_size:
+                count += self.insert_batch(chunk)
+                chunk.clear()
+        if chunk:
+            count += self.insert_batch(chunk)
+        return count
+
+    def delete(self, source: Vertex, destination: Vertex, weight: float,
+               timestamp: int) -> None:
+        """Delete from the shard owning the edge's partition key.
+
+        Raises whatever the owning shard's ``delete`` raises, unchanged.
+        """
+        shard = self._partitioner.shard_of_edge(source, destination)
+        result = self._call_shard(shard, "delete", source, destination,
+                                  weight, timestamp)
+        if not result.ok:
+            self._reraise(result)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def _vertex_routes_to_one_shard(self, direction: str) -> bool:
+        """Whether a vertex query in ``direction`` is answerable by a single
+        shard: only outgoing queries under source partitioning are."""
+        return self.config.partition_by == "source" and direction == "out"
+
+    def edge_query(self, source: Vertex, destination: Vertex,
+                   t_start: int, t_end: int) -> float:
+        """Estimated aggregated weight of ``source → destination`` in range.
+
+        Routes to the single shard owning the edge (every copy of an edge
+        lands on one shard, so no merge is needed).  Raises
+        :class:`~repro.errors.QueryError` on a malformed range.
+        """
+        self.check_range(t_start, t_end)
+        shard = self._partitioner.shard_of_edge(source, destination)
+        result = self._call_shard(shard, "edge_query", source, destination,
+                                  t_start, t_end)
+        if not result.ok:
+            self._reraise(result)
+        return result.value
+
+    def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
+                     direction: str = "out") -> float:
+        """Estimated aggregated weight of a vertex's incident edges in range.
+
+        Under source partitioning, outgoing queries route to the vertex's
+        shard; incoming queries (and all queries under edge partitioning)
+        scatter to every shard and the per-shard estimates are summed.
+        Raises :class:`~repro.errors.QueryError` on a malformed range and
+        ``ValueError`` on an unknown ``direction``.
+        """
+        self.check_range(t_start, t_end)
+        if direction not in ("out", "in"):
+            raise ValueError("direction must be 'out' or 'in'")
+        if self._vertex_routes_to_one_shard(direction):
+            shard = self._partitioner.shard_of_vertex(vertex)
+            result = self._call_shard(shard, "vertex_query", vertex,
+                                      t_start, t_end, direction)
+            if not result.ok:
+                self._reraise(result)
+            return result.value
+        calls = {shard: ("vertex_query", (vertex, t_start, t_end, direction))
+                 for shard in range(self.num_shards)}
+        results = self._scatter(calls)
+        self._raise_scatter_failure("vertex_query", results)
+        return sum(results[shard].value for shard in sorted(results))
+
+    def path_query(self, path: Sequence[Vertex], t_start: int, t_end: int) -> float:
+        """Aggregated weight along a vertex path (sum of per-hop edge queries).
+
+        The hops are grouped by owning shard and each involved shard answers
+        one bulk sub-query over its hops; the per-shard sums are added.
+        Raises :class:`~repro.errors.QueryError` for paths shorter than two
+        vertices or malformed ranges.
+        """
+        if len(path) < 2:
+            raise QueryError("a path query needs at least two vertices")
+        return self.subgraph_query(list(zip(path[:-1], path[1:])), t_start, t_end)
+
+    def subgraph_query(self, edges: Sequence[Tuple[Vertex, Vertex]],
+                       t_start: int, t_end: int) -> float:
+        """Aggregated weight of a set of edges (sum of per-edge queries).
+
+        Each involved shard answers a single ``subgraph_query`` over the
+        edges it owns; the per-shard sums are added in shard order.  Raises
+        :class:`~repro.errors.QueryError` on an empty edge set or a
+        malformed range.
+        """
+        if not edges:
+            raise QueryError("a subgraph query needs at least one edge")
+        self.check_range(t_start, t_end)
+        grouped = self._partitioner.group_pairs(edges)
+        calls = {shard: ("subgraph_query", (pairs, t_start, t_end))
+                 for shard, pairs in grouped.items()}
+        results = self._scatter(calls)
+        self._raise_scatter_failure("subgraph_query", results)
+        return sum(results[shard].value for shard in sorted(results))
+
+    def query_batch(self, queries: Sequence) -> List[float]:
+        """Answer a batch of query objects with per-shard bulk sub-batches.
+
+        Edge queries and routable vertex queries are grouped into one
+        ``query_batch`` call per involved shard (preserving their relative
+        order within the shard); scattered vertex queries are appended to
+        every shard's sub-batch and their per-shard estimates summed.
+        Composite (path / subgraph) queries are evaluated through the
+        engine's own scatter-gather methods.  Results are returned in the
+        callers' order and match the per-item methods exactly.
+        """
+        results: List[float] = [0.0] * len(queries)
+        per_shard: Dict[int, List[Tuple[int, object]]] = {}
+        composites: List[Tuple[int, object]] = []
+        for index, query in enumerate(queries):
+            # Structural dispatch mirrors Higgs.query_batch: it keeps this
+            # module free of an import cycle with repro.queries.types.
+            if hasattr(query, "destination"):  # edge query
+                self.check_range(query.t_start, query.t_end)
+                shard = self._partitioner.shard_of_edge(query.source,
+                                                        query.destination)
+                per_shard.setdefault(shard, []).append((index, query))
+            elif hasattr(query, "vertex"):  # vertex query
+                self.check_range(query.t_start, query.t_end)
+                if query.direction not in ("out", "in"):
+                    raise ValueError("direction must be 'out' or 'in'")
+                if self._vertex_routes_to_one_shard(query.direction):
+                    shard = self._partitioner.shard_of_vertex(query.vertex)
+                    per_shard.setdefault(shard, []).append((index, query))
+                else:
+                    for shard in range(self.num_shards):
+                        per_shard.setdefault(shard, []).append((index, query))
+            else:  # composite — evaluated via the engine's scatter-gather
+                composites.append((index, query))
+        calls = {shard: ("query_batch", ([query for _, query in items],))
+                 for shard, items in per_shard.items()}
+        gathered = self._scatter(calls)
+        self._raise_scatter_failure("query_batch", gathered)
+        for shard, items in per_shard.items():
+            estimates = gathered[shard].value
+            for (index, _), estimate in zip(items, estimates):
+                results[index] += estimate
+        for index, query in composites:
+            results[index] = query.evaluate(self)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # accounting and introspection
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """Total analytic memory footprint: the sum over all shards."""
+        calls = {shard: ("memory_bytes", ()) for shard in range(self.num_shards)}
+        results = self._scatter(calls)
+        self._raise_scatter_failure("memory_bytes", results)
+        return sum(results[shard].value for shard in results)
+
+    @property
+    def items_ingested(self) -> int:
+        """Total number of items acknowledged by shards.
+
+        After a partial :meth:`insert_batch` failure this equals the sum of
+        the successful shards' acknowledged counts — the engine never counts
+        items whose insertion outcome is unknown.
+        """
+        return sum(self._shard_items)
+
+    def shard_items(self) -> Tuple[int, ...]:
+        """Per-shard acknowledged item counts (index = shard index)."""
+        return tuple(self._shard_items)
+
+    def shard_busy_seconds(self) -> List[float]:
+        """Cumulative per-shard execution time, in seconds.
+
+        Measured inside each worker around every call it executes; the
+        benchmark harness derives load-imbalance and projected parallel
+        ingest time from these counters.
+        """
+        return [worker.busy_seconds() for worker in self._workers]
+
+    def shard_summaries(self) -> List[TemporalGraphSummary]:
+        """The inner summaries, for inspection by tests and analyses.
+
+        Raises
+        ------
+        ShardingError
+            In ``"process"`` executor mode, where the summaries live in
+            worker processes and cannot be returned by reference.
+        """
+        if any(worker.target is None for worker in self._workers):
+            raise ShardingError(
+                "shard summaries live in worker processes; use the 'serial' "
+                "or 'thread' executor for direct access")
+        return [worker.target for worker in self._workers]
+
+    def stats(self) -> Dict[str, object]:
+        """Engine-level statistics (shard count, executor, items, memory)."""
+        return {
+            "num_shards": self.num_shards,
+            "partition_by": self.config.partition_by,
+            "executor": self.executor_mode,
+            "items_ingested": self.items_ingested,
+            "shard_items": list(self._shard_items),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut down all shard workers (idempotent).
+
+        Serial-mode engines hold no external resources, but thread- and
+        process-mode engines should always be closed (or used as context
+        managers) so worker threads and processes exit promptly.
+        """
+        workers, self._workers = getattr(self, "_workers", []), []
+        for worker in workers:
+            try:
+                worker.close()
+            except Exception:  # pragma: no cover - best-effort shutdown
+                pass
+        self._closed = True
+
+    def __enter__(self) -> "ShardedSummary":
+        """Context-manager entry: returns the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: closes every shard worker."""
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ShardedSummary(shards={self.num_shards}, "
+                f"executor={self.executor_mode!r}, "
+                f"partition_by={self.config.partition_by!r}, "
+                f"items={self.items_ingested})")

@@ -1,0 +1,147 @@
+"""Hash partitioning of graph streams across shards.
+
+The sharded summary engine assigns every stream item to exactly one shard by
+hashing a **partition key** derived from the item:
+
+* ``"source"`` (default) — the shard of an edge is the shard of its source
+  vertex.  All outgoing edges of a vertex land together, so edge queries and
+  outgoing vertex queries route to a single shard; incoming vertex queries
+  must scatter to every shard.
+* ``"edge"`` — the shard is derived from the ``(source, destination)`` pair.
+  This spreads a hot source vertex across shards (better balance under heavy
+  source skew) at the cost of scattering *all* vertex queries.
+
+Both modes build on :func:`repro.core.hashing.shard_of`, the process-stable
+shard-assignment hash also used by the shard-skew stream generators, so a
+stream biased toward particular shards and the engine partitioning it always
+agree on what "shard k" means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.config import SHARD_PARTITION_MODES
+from ..core.hashing import hash64, shard_of
+from ..errors import ConfigurationError
+from ..streams.edge import StreamEdge, Vertex
+
+#: Partition-key modes understood by :class:`ShardPartitioner` — the single
+#: definition lives in :mod:`repro.core.config` so the engine configuration
+#: and the partitioner can never drift apart.
+PARTITION_MODES = SHARD_PARTITION_MODES
+
+
+class ShardPartitioner:
+    """Maps vertices and edges to shard indices, deterministically.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards; must be >= 1.
+    partition_by:
+        ``"source"`` or ``"edge"`` (see the module docstring).
+    seed:
+        Seed of the shard-assignment hash; two partitioners with the same
+        ``(num_shards, partition_by, seed)`` agree on every assignment, in
+        every process.
+
+    Raises
+    ------
+    ConfigurationError
+        On a non-positive shard count or an unknown partition mode.
+
+    Notes
+    -----
+    Vertex-to-shard assignments are memoized in an unbounded dictionary;
+    graph streams are heavily skewed, so nearly every lookup after warm-up is
+    a dictionary hit.  The memo grows with the number of *distinct* vertices,
+    which is small relative to the stream itself.
+    """
+
+    def __init__(self, num_shards: int, *, partition_by: str = "source",
+                 seed: int = 0) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if partition_by not in PARTITION_MODES:
+            raise ConfigurationError(
+                f"partition_by must be one of {PARTITION_MODES}, "
+                f"got {partition_by!r}")
+        self.num_shards = num_shards
+        self.partition_by = partition_by
+        self.seed = seed
+        self._vertex_memo: Dict[Vertex, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # assignment
+    # ------------------------------------------------------------------ #
+
+    def shard_of_vertex(self, vertex: Vertex) -> int:
+        """Shard index owning ``vertex`` (its outgoing edges in ``"source"``
+        mode).  Deterministic and stable across processes."""
+        shard = self._vertex_memo.get(vertex)
+        if shard is None:
+            shard = self._vertex_memo[vertex] = shard_of(vertex, self.num_shards,
+                                                         self.seed)
+        return shard
+
+    def shard_of_edge(self, source: Vertex, destination: Vertex) -> int:
+        """Shard index owning the edge ``source → destination``.
+
+        In ``"source"`` mode this is the source vertex's shard; in ``"edge"``
+        mode the pair is hashed as a unit (both endpoints' hashes are mixed,
+        so reversed edges land independently).
+        """
+        if self.partition_by == "source":
+            return self.shard_of_vertex(source)
+        if self.num_shards == 1:
+            return 0
+        return (hash64(source, self.seed) * 0x9E3779B97F4A7C15
+                + hash64(destination, self.seed)) % self.num_shards
+
+    # ------------------------------------------------------------------ #
+    # bulk splitting
+    # ------------------------------------------------------------------ #
+
+    def split(self, edges: Iterable[StreamEdge]) -> List[List[StreamEdge]]:
+        """Partition ``edges`` into one list per shard, preserving arrival
+        order within every shard.
+
+        Returns a list of ``num_shards`` lists (possibly empty).  Because
+        each shard's sub-stream keeps the original relative order, replaying
+        the sub-streams into per-shard summaries is equivalent to each shard
+        observing its slice of the original stream.
+        """
+        parts: List[List[StreamEdge]] = [[] for _ in range(self.num_shards)]
+        if self.partition_by == "source":
+            memo = self._vertex_memo
+            memo_get = memo.get
+            num_shards = self.num_shards
+            seed = self.seed
+            for edge in edges:
+                source = edge.source
+                shard = memo_get(source)
+                if shard is None:
+                    shard = memo[source] = shard_of(source, num_shards, seed)
+                parts[shard].append(edge)
+        else:
+            for edge in edges:
+                parts[self.shard_of_edge(edge.source, edge.destination)].append(edge)
+        return parts
+
+    def group_pairs(self, pairs: Iterable[Tuple[Vertex, Vertex]]
+                    ) -> Dict[int, List[Tuple[Vertex, Vertex]]]:
+        """Group ``(source, destination)`` pairs by owning shard.
+
+        Used by composite (path / subgraph) queries to turn one multi-edge
+        query into at most one sub-query per shard.
+        """
+        grouped: Dict[int, List[Tuple[Vertex, Vertex]]] = {}
+        for source, destination in pairs:
+            shard = self.shard_of_edge(source, destination)
+            grouped.setdefault(shard, []).append((source, destination))
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ShardPartitioner(num_shards={self.num_shards}, "
+                f"partition_by={self.partition_by!r}, seed={self.seed})")

@@ -3,7 +3,7 @@ file readers, and descriptive statistics."""
 
 from .edge import GraphStream, StreamEdge
 from .generators import (StreamSpec, generate_stream, generate_skewness_suite,
-                         generate_variance_suite)
+                         generate_variance_suite, reskew_to_shards)
 from .datasets import (DATASETS, DATASET_ORDER, DatasetDescriptor,
                        dataset_names, load_dataset, table2_rows)
 from .readers import read_stream, write_stream, iter_edges_from_text
@@ -12,7 +12,7 @@ from . import analysis
 __all__ = [
     "GraphStream", "StreamEdge",
     "StreamSpec", "generate_stream", "generate_skewness_suite",
-    "generate_variance_suite",
+    "generate_variance_suite", "reskew_to_shards",
     "DATASETS", "DATASET_ORDER", "DatasetDescriptor", "dataset_names",
     "load_dataset", "table2_rows",
     "read_stream", "write_stream", "iter_edges_from_text",

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..core.hashing import shard_of
 from ..errors import DatasetError
 from .edge import GraphStream, StreamEdge
 
@@ -170,6 +171,82 @@ def generate_skewness_suite(num_vertices: int = 2_000, num_edges: int = 20_000,
                           name=f"skew-{exponent:.1f}")
         streams.append(generate_stream(spec))
     return streams
+
+
+def reskew_to_shards(stream: GraphStream, *, num_shards: int,
+                     hot_shards: int = 1, hot_fraction: float = 0.8,
+                     shard_seed: int = 0, seed: int = 23,
+                     name: Optional[str] = None) -> GraphStream:
+    """Bias a stream's partition keys toward a subset of shards.
+
+    Rewrites a fraction of edges so their *source vertex* (the default
+    partition key of :class:`~repro.sharding.ShardedSummary`) hashes into the
+    first ``hot_shards`` shards of a ``num_shards``-way partition: with
+    probability ``hot_fraction`` an edge's source is replaced by a source
+    drawn (from the stream's own source population, so the degree skew
+    shape is preserved) among vertices owned by the hot shards.  Weights,
+    destinations, timestamps, and arrival order are untouched.
+
+    The shard assignment uses :func:`repro.core.hashing.shard_of` with
+    ``shard_seed`` — the same function and seed the engine's partitioner
+    uses — so the generated imbalance is exactly what a
+    ``ShardedSummary(shards=num_shards)`` will observe.  This is the
+    ingest-side analogue of a skewed query workload: it exercises the
+    engine's worst case, where hash partitioning cannot spread hot keys.
+
+    Parameters
+    ----------
+    stream:
+        The stream to bias; it is not modified.
+    num_shards:
+        Shard count of the partition the bias is defined against.
+    hot_shards:
+        How many shards (``[0, hot_shards)``) receive the biased edges.
+        Must satisfy ``1 <= hot_shards <= num_shards``.
+    hot_fraction:
+        Fraction of edges rerouted to hot-shard sources, in ``[0, 1]``.
+    shard_seed:
+        Seed of the shard-assignment hash (must match the engine's
+        ``ShardingConfig.hash_seed`` for the bias to align).
+    seed:
+        PRNG seed of the rewrite itself (which edges are rerouted, and to
+        which hot source).
+    name:
+        Name of the returned stream; defaults to
+        ``"<stream.name>-hot<hot_shards>/<num_shards>"``.
+
+    Returns
+    -------
+    GraphStream
+        A new stream with the same length and time profile.
+
+    Raises
+    ------
+    DatasetError
+        On invalid ``hot_shards`` / ``hot_fraction``, or when no source
+        vertex of the stream hashes into the hot shards.
+    """
+    if not 1 <= hot_shards <= num_shards:
+        raise DatasetError("hot_shards must be in [1, num_shards]")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise DatasetError("hot_fraction must be in [0, 1]")
+    sources = [edge.source for edge in stream]
+    hot_sources = [v for v in dict.fromkeys(sources)
+                   if shard_of(v, num_shards, shard_seed) < hot_shards]
+    if not hot_sources:
+        raise DatasetError(
+            f"no source vertex of {stream.name!r} hashes into the first "
+            f"{hot_shards} of {num_shards} shards")
+    rng = np.random.default_rng(seed)
+    reroute = rng.random(len(stream)) < hot_fraction
+    choices = rng.integers(0, len(hot_sources), size=len(stream))
+    edges = [
+        StreamEdge(hot_sources[choices[i]] if reroute[i] else edge.source,
+                   edge.destination, edge.weight, edge.timestamp)
+        for i, edge in enumerate(stream)
+    ]
+    return GraphStream(edges, name=name or
+                       f"{stream.name}-hot{hot_shards}/{num_shards}")
 
 
 def generate_variance_suite(num_vertices: int = 2_000, num_edges: int = 20_000,

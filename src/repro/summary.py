@@ -16,6 +16,11 @@ cheaper bulk path (pre-hashed inserts, memoized range decompositions)
 override them with a native implementation that produces *bit-identical*
 results.  :meth:`insert_stream` chunks a stream through :meth:`insert_batch`,
 so any summary with a native batch path accelerates stream replay for free.
+
+Because every structure honours this one contract, composition layers can
+wrap summaries without knowing what is inside them: the sharded engine
+(:class:`repro.sharding.ShardedSummary`) partitions a stream across many
+inner summaries and is itself a :class:`TemporalGraphSummary`.
 """
 
 from __future__ import annotations
@@ -45,7 +50,29 @@ class TemporalGraphSummary(ABC):
     @abstractmethod
     def insert(self, source: Vertex, destination: Vertex, weight: float,
                timestamp: int) -> None:
-        """Insert one stream item ``(source, destination, weight, timestamp)``."""
+        """Insert one stream item ``(source, destination, weight, timestamp)``.
+
+        Parameters
+        ----------
+        source, destination:
+            Endpoint identifiers (any hashable string or integer); the edge
+            is directed from ``source`` to ``destination``.
+        weight:
+            Weight carried by this item; repeated arrivals of the same edge
+            accumulate.
+        timestamp:
+            Integer arrival timestamp.  Implementations accept arbitrary
+            timestamps; structures that optimize for the natural
+            non-decreasing stream order must still store out-of-order items
+            correctly.
+
+        Raises
+        ------
+        InsertionError
+            If the item cannot be placed — which indicates an invalid
+            configuration, not a full structure (summaries grow or degrade
+            gracefully under load).
+        """
 
     def insert_batch(self, edges: Iterable[StreamEdge]) -> int:
         """Insert a batch of stream items; returns the number inserted.
@@ -100,13 +127,57 @@ class TemporalGraphSummary(ABC):
     def edge_query(self, source: Vertex, destination: Vertex,
                    t_start: int, t_end: int) -> float:
         """Estimated aggregated weight of edge ``source → destination`` in
-        ``[t_start, t_end]`` (paper Definition 2)."""
+        ``[t_start, t_end]`` (paper Definition 2).
+
+        Parameters
+        ----------
+        source, destination:
+            Endpoints of the queried directed edge.
+        t_start, t_end:
+            Inclusive temporal range bounds.
+
+        Returns
+        -------
+        float
+            The estimate.  Sketch-based summaries may overestimate (hash
+            collisions) but never underestimate; an edge never seen in the
+            range yields ``0.0`` absent collisions.
+
+        Raises
+        ------
+        QueryError
+            On an inverted range or negative timestamps (see
+            :meth:`check_range`).
+        """
 
     @abstractmethod
     def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
                      direction: str = "out") -> float:
         """Estimated aggregated weight of all outgoing (``"out"``) or incoming
-        (``"in"``) edges of ``vertex`` in ``[t_start, t_end]``."""
+        (``"in"``) edges of ``vertex`` in ``[t_start, t_end]``.
+
+        Parameters
+        ----------
+        vertex:
+            The queried vertex identifier.
+        t_start, t_end:
+            Inclusive temporal range bounds.
+        direction:
+            ``"out"`` aggregates edges leaving ``vertex``; ``"in"``
+            aggregates edges arriving at it.
+
+        Returns
+        -------
+        float
+            The estimate (overestimation only, as for :meth:`edge_query`).
+
+        Raises
+        ------
+        QueryError
+            On an inverted range or negative timestamps.
+        ValueError
+            On a ``direction`` other than ``"out"`` or ``"in"``.
+        """
 
     def query_batch(self, queries: Sequence) -> List[float]:
         """Answer a batch of query objects; returns one estimate per query.
@@ -125,7 +196,12 @@ class TemporalGraphSummary(ABC):
 
     def path_query(self, path: Sequence[Vertex], t_start: int, t_end: int) -> float:
         """Aggregated weight along a vertex path: the sum of the edge queries
-        of every consecutive pair."""
+        of every consecutive pair.
+
+        Raises :class:`~repro.errors.QueryError` when ``path`` has fewer
+        than two vertices, or (from the underlying edge queries) when the
+        range is malformed.
+        """
         if len(path) < 2:
             raise QueryError("a path query needs at least two vertices")
         total = 0.0
@@ -135,7 +211,11 @@ class TemporalGraphSummary(ABC):
 
     def subgraph_query(self, edges: Sequence[Tuple[Vertex, Vertex]],
                        t_start: int, t_end: int) -> float:
-        """Aggregated weight of a set of edges: the sum of their edge queries."""
+        """Aggregated weight of a set of edges: the sum of their edge queries.
+
+        Raises :class:`~repro.errors.QueryError` when ``edges`` is empty, or
+        (from the underlying edge queries) when the range is malformed.
+        """
         if not edges:
             raise QueryError("a subgraph query needs at least one edge")
         total = 0.0
@@ -149,7 +229,18 @@ class TemporalGraphSummary(ABC):
 
     @abstractmethod
     def memory_bytes(self) -> int:
-        """Analytic memory footprint of the summary, in bytes."""
+        """Analytic memory footprint of the summary, in bytes.
+
+        Returns
+        -------
+        int
+            The size a space-efficient implementation of the structure
+            would occupy, computed from entry counts and the configured
+            field widths (DESIGN.md §3.4) — not the Python object graph's
+            actual size, which would drown the comparison in interpreter
+            overhead.  Deterministic for a given structure state; never
+            raises.
+        """
 
     @staticmethod
     def check_range(t_start: int, t_end: int) -> None:

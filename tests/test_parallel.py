@@ -20,6 +20,23 @@ class TestPipelinedInserter:
         with pytest.raises(ValueError):
             PipelinedInserter(Higgs(_config()), mode="warp-drive")
 
+    def test_threaded_mode_survives_failing_stream_iterable(self):
+        """A stream iterable that raises mid-iteration must propagate without
+        leaking the worker thread (the shutdown sentinel is always sent)."""
+        def exploding_stream():
+            yield StreamEdge("a", "b", 1.0, 1)
+            yield StreamEdge("b", "c", 1.0, 2)
+            raise RuntimeError("stream source died")
+
+        summary = Higgs(_config())
+        before = threading.active_count()
+        with pytest.raises(RuntimeError, match="stream source died"):
+            PipelinedInserter(summary, mode="threaded").insert_stream(
+                exploding_stream())
+        assert threading.active_count() == before
+        # The items yielded before the failure were applied.
+        assert summary.tree.items_inserted == 2
+
     @pytest.mark.parametrize("mode", ["serial", "batched", "threaded"])
     def test_all_modes_insert_every_item(self, mode, small_stream):
         summary = Higgs(_config())

@@ -1,0 +1,364 @@
+"""Tests for the sharded summary engine (:mod:`repro.sharding`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Higgs, HiggsConfig, HiggsShardFactory, ShardedSummary, ShardingConfig
+from repro.core.executor import make_shard_worker, resolve_executor
+from repro.core.hashing import shard_of
+from repro.errors import ConfigurationError, QueryError, ShardingError
+from repro.queries.types import EdgeQuery, PathQuery, SubgraphQuery, VertexQuery
+from repro.sharding import ShardPartitioner
+from repro.streams.edge import GraphStream, StreamEdge
+from repro.streams.generators import StreamSpec, generate_stream, reskew_to_shards
+from repro.summary import TemporalGraphSummary
+
+
+def _config() -> HiggsConfig:
+    return HiggsConfig(leaf_matrix_size=8, fingerprint_bits=14)
+
+
+def _factory() -> HiggsShardFactory:
+    return HiggsShardFactory(_config())
+
+
+def _ranges(stream):
+    t_min, t_max = stream.time_span
+    mid = (t_min + t_max) // 2
+    return [(t_min, t_max), (t_min, mid), (mid, t_max)]
+
+
+class TestPartitioner:
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardPartitioner(0)
+        with pytest.raises(ConfigurationError):
+            ShardPartitioner(2, partition_by="rainbow")
+
+    def test_assignment_is_deterministic_and_stable(self):
+        a = ShardPartitioner(4, partition_by="source", seed=3)
+        b = ShardPartitioner(4, partition_by="source", seed=3)
+        for vertex in ("v1", "v2", 77, "x"):
+            assert a.shard_of_vertex(vertex) == b.shard_of_vertex(vertex)
+            assert a.shard_of_vertex(vertex) == shard_of(vertex, 4, 3)
+
+    def test_source_mode_keeps_all_out_edges_together(self, small_stream):
+        partitioner = ShardPartitioner(4, partition_by="source")
+        for edge in small_stream:
+            assert (partitioner.shard_of_edge(edge.source, edge.destination)
+                    == partitioner.shard_of_vertex(edge.source))
+
+    def test_split_preserves_order_and_loses_nothing(self, small_stream):
+        partitioner = ShardPartitioner(3, partition_by="edge")
+        parts = partitioner.split(small_stream)
+        assert sum(len(part) for part in parts) == len(small_stream)
+        for shard, part in enumerate(parts):
+            expected = [e for e in small_stream
+                        if partitioner.shard_of_edge(e.source, e.destination) == shard]
+            assert part == expected
+
+    def test_group_pairs_matches_edge_assignment(self):
+        partitioner = ShardPartitioner(4, partition_by="source")
+        pairs = [("a", "b"), ("c", "d"), ("a", "z")]
+        grouped = partitioner.group_pairs(pairs)
+        for shard, members in grouped.items():
+            for source, destination in members:
+                assert partitioner.shard_of_edge(source, destination) == shard
+
+
+class TestShardingConfig:
+    def test_defaults_valid(self):
+        config = ShardingConfig()
+        assert config.num_shards == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_shards": 0},
+        {"partition_by": "destination"},
+        {"executor": "quantum"},
+        {"batch_size": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ShardingConfig(**kwargs)
+
+    def test_resolve_executor_passthrough(self):
+        assert resolve_executor("serial") == "serial"
+        assert resolve_executor("auto") in ("serial", "process")
+
+
+class TestSingleShardBitIdentity:
+    """``shards=1`` must be indistinguishable from the wrapped summary."""
+
+    def test_queries_identical_to_unsharded(self, small_stream):
+        plain = Higgs(_config())
+        plain.insert_stream(small_stream)
+        sharded = ShardedSummary(_factory(), shards=1)
+        sharded.insert_stream(small_stream)
+
+        edges = sorted(small_stream.distinct_edges())[:80]
+        vertices = sorted(small_stream.vertices())[:40]
+        for t_start, t_end in _ranges(small_stream):
+            for source, destination in edges:
+                assert (sharded.edge_query(source, destination, t_start, t_end)
+                        == plain.edge_query(source, destination, t_start, t_end))
+            for vertex in vertices:
+                for direction in ("out", "in"):
+                    assert (sharded.vertex_query(vertex, t_start, t_end, direction)
+                            == plain.vertex_query(vertex, t_start, t_end, direction))
+
+    def test_composites_and_memory_identical(self, small_stream):
+        plain = Higgs(_config())
+        plain.insert_stream(small_stream)
+        sharded = ShardedSummary(_factory(), shards=1)
+        sharded.insert_stream(small_stream)
+
+        edges = sorted(small_stream.distinct_edges())[:6]
+        path = [edges[0][0], edges[0][1], edges[1][1], edges[2][1]]
+        t_min, t_max = small_stream.time_span
+        assert (sharded.path_query(path, t_min, t_max)
+                == plain.path_query(path, t_min, t_max))
+        assert (sharded.subgraph_query(edges, t_min, t_max)
+                == plain.subgraph_query(edges, t_min, t_max))
+        assert sharded.memory_bytes() == plain.memory_bytes()
+
+    def test_structure_identical(self, small_stream):
+        plain = Higgs(_config())
+        plain.insert_stream(small_stream)
+        sharded = ShardedSummary(_factory(), shards=1)
+        sharded.insert_stream(small_stream)
+        (inner,) = sharded.shard_summaries()
+        assert inner.leaf_count == plain.leaf_count
+        assert inner.height == plain.height
+        assert inner.tree.items_inserted == plain.tree.items_inserted
+
+
+class TestScatterGather:
+    def test_sharded_result_is_sum_of_per_shard_results(self, small_stream):
+        sharded = ShardedSummary(_factory(), shards=4, partition_by="source")
+        sharded.insert_stream(small_stream)
+        shards = sharded.shard_summaries()
+        t_min, t_max = small_stream.time_span
+
+        for source, destination in sorted(small_stream.distinct_edges())[:50]:
+            expected = sum(s.edge_query(source, destination, t_min, t_max)
+                           for s in shards)
+            assert (sharded.edge_query(source, destination, t_min, t_max)
+                    == pytest.approx(expected))
+        for vertex in sorted(small_stream.vertices())[:25]:
+            for direction in ("out", "in"):
+                expected = sum(s.vertex_query(vertex, t_min, t_max, direction)
+                               for s in shards)
+                assert (sharded.vertex_query(vertex, t_min, t_max, direction)
+                        == pytest.approx(expected))
+
+    def test_every_item_lands_on_exactly_one_shard(self, small_stream):
+        sharded = ShardedSummary(_factory(), shards=4)
+        sharded.insert_stream(small_stream)
+        assert sharded.items_ingested == len(small_stream)
+        assert sum(sharded.shard_items()) == len(small_stream)
+        inner_total = sum(s.tree.items_inserted for s in sharded.shard_summaries())
+        assert inner_total == len(small_stream)
+
+    def test_query_batch_matches_per_item_queries(self, small_stream):
+        sharded = ShardedSummary(_factory(), shards=3, partition_by="source")
+        sharded.insert_stream(small_stream)
+        edges = sorted(small_stream.distinct_edges())
+        t_min, t_max = small_stream.time_span
+        queries = [
+            EdgeQuery(*edges[0], t_min, t_max),
+            VertexQuery(edges[1][0], t_min, t_max, "out"),
+            VertexQuery(edges[2][1], t_min, t_max, "in"),
+            PathQuery((edges[3][0], edges[3][1], edges[4][1]), t_min, t_max),
+            SubgraphQuery(tuple(edges[5:8]), t_min, t_max),
+            EdgeQuery(*edges[9], t_min, t_max),
+        ]
+        batched = sharded.query_batch(queries)
+        singles = [query.evaluate(sharded) for query in queries]
+        assert batched == singles
+
+    def test_accuracy_matches_unsharded_at_equal_config(self, small_stream,
+                                                        small_truth):
+        """Sharding must not degrade estimates: same config per shard means
+        the same collision regime, and shard sums are exact unions."""
+        plain = Higgs(_config())
+        plain.insert_stream(small_stream)
+        sharded = ShardedSummary(_factory(), shards=4)
+        sharded.insert_stream(small_stream)
+        t_min, t_max = small_stream.time_span
+        edges = sorted(small_stream.distinct_edges())[:60]
+        plain_err = sharded_err = 0.0
+        for source, destination in edges:
+            truth = small_truth.edge_query(source, destination, t_min, t_max)
+            plain_err += abs(plain.edge_query(source, destination, t_min, t_max)
+                             - truth)
+            sharded_err += abs(sharded.edge_query(source, destination, t_min, t_max)
+                               - truth)
+        assert sharded_err <= plain_err + 1e-9
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_executors_agree(self, executor, small_stream):
+        with ShardedSummary(_factory(), shards=3, executor=executor) as sharded:
+            sharded.insert_stream(small_stream)
+            assert sharded.items_ingested == len(small_stream)
+            t_min, t_max = small_stream.time_span
+            results = [sharded.edge_query(s, d, t_min, t_max)
+                       for s, d in sorted(small_stream.distinct_edges())[:30]]
+        serial = ShardedSummary(_factory(), shards=3, executor="serial")
+        serial.insert_stream(small_stream)
+        expected = [serial.edge_query(s, d, t_min, t_max)
+                    for s, d in sorted(small_stream.distinct_edges())[:30]]
+        assert results == expected
+
+    def test_process_mode_hides_shard_summaries(self):
+        with ShardedSummary(_factory(), shards=2, executor="process") as sharded:
+            sharded.insert("a", "b", 1.0, 5)
+            assert sharded.edge_query("a", "b", 0, 10) >= 0.0
+            with pytest.raises(ShardingError):
+                sharded.shard_summaries()
+
+    def test_process_factory_failure_raises(self):
+        def boom():
+            raise RuntimeError("no summary for you")
+        with pytest.raises(ShardingError):
+            make_shard_worker("process", boom)
+
+    def test_dead_worker_process_surfaces_as_sharding_error(self, small_stream):
+        """Killing a shard child mid-life must not desynchronize the engine:
+        subsequent operations raise ShardingError (never a raw OSError) and
+        submit/collect pairing survives for later calls."""
+        with ShardedSummary(_factory(), shards=2, executor="process") as sharded:
+            sharded.insert_stream(small_stream)
+            sharded._workers[1]._process.terminate()
+            sharded._workers[1]._process.join(timeout=5)
+            with pytest.raises(ShardingError):
+                sharded.memory_bytes()
+            # Pairing intact: a second scatter still fails cleanly, and the
+            # surviving shard still answers routed queries.
+            with pytest.raises(ShardingError):
+                sharded.memory_bytes()
+            partitioner = sharded.partitioner
+            vertex = next(f"v{i}" for i in range(1000)
+                          if partitioner.shard_of_vertex(f"v{i}") == 0)
+            assert sharded.vertex_query(vertex, 0, 10**6, "out") >= 0.0
+
+    def test_busy_seconds_accumulate(self, small_stream):
+        sharded = ShardedSummary(_factory(), shards=2)
+        sharded.insert_stream(small_stream)
+        busy = sharded.shard_busy_seconds()
+        assert len(busy) == 2
+        assert all(b >= 0.0 for b in busy)
+        assert sum(b > 0.0 for b in busy) >= 1
+
+
+class _FailingSummary(TemporalGraphSummary):
+    """Inserts normally until the fuse burns, then raises forever."""
+
+    name = "failing"
+
+    def __init__(self, fuse: int) -> None:
+        self.fuse = fuse
+        self.count = 0
+
+    def insert(self, source, destination, weight, timestamp):
+        if self.count >= self.fuse:
+            raise RuntimeError("shard blew its fuse")
+        self.count += 1
+
+    def edge_query(self, source, destination, t_start, t_end):
+        return 0.0
+
+    def vertex_query(self, vertex, t_start, t_end, direction="out"):
+        return 0.0
+
+    def memory_bytes(self):
+        return 0
+
+
+class TestFailureSemantics:
+    def _engine_with_one_failing_shard(self, fuse: int) -> ShardedSummary:
+        sharded = ShardedSummary(_factory(), shards=2, partition_by="source")
+        # Replace shard 1's summary with a failing stub (serial workers hold
+        # their targets in-process).
+        sharded._workers[1].target = _FailingSummary(fuse)
+        return sharded
+
+    def test_mid_batch_failure_keeps_accounting_consistent(self, small_stream):
+        sharded = self._engine_with_one_failing_shard(fuse=10)
+        edges = list(small_stream)[:400]
+        partitioner = sharded.partitioner
+        healthy = [e for e in edges
+                   if partitioner.shard_of_edge(e.source, e.destination) == 0]
+        with pytest.raises(ShardingError) as excinfo:
+            sharded.insert_batch(edges)
+        assert "shard(s) [1]" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        # The healthy shard's items were acknowledged and counted; the failed
+        # shard contributed nothing to the engine's count.
+        assert sharded.shard_items() == (len(healthy), 0)
+        assert sharded.items_ingested == len(healthy)
+        # The engine stays usable: the healthy shard still answers queries.
+        source, destination = healthy[0].source, healthy[0].destination
+        assert sharded.edge_query(source, destination, 0, 10**6) >= 0.0
+
+    def test_single_insert_failure_reraises_original(self):
+        sharded = self._engine_with_one_failing_shard(fuse=0)
+        partitioner = sharded.partitioner
+        vertex = next(f"v{i}" for i in range(1000)
+                      if partitioner.shard_of_vertex(f"v{i}") == 1)
+        with pytest.raises(RuntimeError):
+            sharded.insert(vertex, "dst", 1.0, 1)
+        assert sharded.items_ingested == 0
+
+
+class TestValidation:
+    def test_malformed_ranges_rejected_before_dispatch(self):
+        sharded = ShardedSummary(_factory(), shards=2)
+        with pytest.raises(QueryError):
+            sharded.edge_query("a", "b", 10, 5)
+        with pytest.raises(QueryError):
+            sharded.vertex_query("a", -1, 5)
+        with pytest.raises(QueryError):
+            sharded.path_query(["a"], 0, 5)
+        with pytest.raises(QueryError):
+            sharded.subgraph_query([], 0, 5)
+        with pytest.raises(ValueError):
+            sharded.vertex_query("a", 0, 5, direction="sideways")
+
+    def test_insert_stream_returns_acknowledged_count(self, small_stream):
+        sharded = ShardedSummary(_factory(), shards=4, batch_size=64)
+        assert sharded.insert_stream(small_stream) == len(small_stream)
+
+
+class TestShardSkewGenerator:
+    def test_reskew_concentrates_sources_on_hot_shards(self, small_stream):
+        skewed = reskew_to_shards(small_stream, num_shards=4, hot_shards=1,
+                                  hot_fraction=1.0)
+        assert len(skewed) == len(small_stream)
+        assert all(shard_of(edge.source, 4, 0) == 0 for edge in skewed)
+        # Everything except sources is untouched.
+        for original, rerouted in zip(small_stream, skewed):
+            assert rerouted.destination == original.destination
+            assert rerouted.weight == original.weight
+            assert rerouted.timestamp == original.timestamp
+
+    def test_reskew_is_deterministic(self, small_stream):
+        a = reskew_to_shards(small_stream, num_shards=4, hot_fraction=0.5, seed=5)
+        b = reskew_to_shards(small_stream, num_shards=4, hot_fraction=0.5, seed=5)
+        assert list(a) == list(b)
+
+    def test_reskew_validates_arguments(self, small_stream):
+        from repro.errors import DatasetError
+        with pytest.raises(DatasetError):
+            reskew_to_shards(small_stream, num_shards=4, hot_shards=5)
+        with pytest.raises(DatasetError):
+            reskew_to_shards(small_stream, num_shards=4, hot_fraction=1.5)
+
+    def test_reskewed_stream_unbalances_source_partitioning(self, small_stream):
+        skewed = reskew_to_shards(small_stream, num_shards=4, hot_shards=1,
+                                  hot_fraction=1.0)
+        partitioner = ShardPartitioner(4, partition_by="source")
+        parts = partitioner.split(skewed)
+        assert len(parts[0]) == len(skewed)
