@@ -8,6 +8,8 @@ The package provides:
   Horae-cpt, AuxoTime, AuxoTime-cpt) under :mod:`repro.baselines`,
 * the sharded scale-out engine (:class:`repro.ShardedSummary`) under
   :mod:`repro.sharding`,
+* the concurrent serving engine (:class:`repro.ServingEngine`) under
+  :mod:`repro.serving`,
 * graph stream substrates (synthetic datasets, generators, readers) under
   :mod:`repro.streams`,
 * query workloads and accuracy metrics under :mod:`repro.queries` and
@@ -16,15 +18,17 @@ The package provides:
   evaluation under :mod:`repro.bench`.
 """
 
-from .core import Higgs, HiggsConfig, ShardingConfig
+from .core import Higgs, HiggsConfig, ServingConfig, ShardingConfig
 from .summary import TemporalGraphSummary
 from .streams import GraphStream, StreamEdge
 from .sharding import HiggsShardFactory, ShardedSummary
+from .serving import ServingEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "Higgs", "HiggsConfig", "ShardingConfig", "TemporalGraphSummary",
-    "GraphStream", "StreamEdge", "ShardedSummary", "HiggsShardFactory",
+    "Higgs", "HiggsConfig", "ServingConfig", "ShardingConfig",
+    "TemporalGraphSummary", "GraphStream", "StreamEdge", "ShardedSummary",
+    "HiggsShardFactory", "ServingEngine",
     "__version__",
 ]

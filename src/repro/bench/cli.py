@@ -10,6 +10,11 @@ Usage::
 series the figure plots, and saves it (text + JSON) under the results
 directory — the same artifacts the pytest benchmark harness produces, but
 callable directly and with a configurable scale.
+
+The registry below is the single source of truth for everything the CLI
+shows: the ``list`` command, the ``--help`` epilogue, and ``run all`` are
+all generated from it, so a registered experiment can never be missing from
+the listings (``tests/test_cli.py`` asserts this).
 """
 
 from __future__ import annotations
@@ -17,64 +22,101 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from ..errors import BenchmarkError
 from . import experiments
 from .reporting import format_table, save_rows
 
-#: Registry mapping experiment ids to (runner, title, output filename).
-EXPERIMENTS: Dict[str, tuple] = {
-    "table2": (experiments.run_table2, "Table II: Summary of Datasets",
-               "table2_datasets.txt"),
-    "fig2": (experiments.run_fig2_skewness, "Figure 2: Skewness of Vertex Degrees",
-             "fig02_skewness.txt"),
-    "fig3": (experiments.run_fig3_irregularity,
-             "Figure 3: Irregularity of Item Arrivals", "fig03_irregularity.txt"),
-    "fig10": (experiments.run_fig10_edge_queries,
-              "Figure 10: Edge Queries", "fig10_edge_queries.txt"),
-    "fig11": (experiments.run_fig11_vertex_queries,
-              "Figure 11: Vertex Queries", "fig11_vertex_queries.txt"),
-    "fig12": (experiments.run_fig12_path_queries,
-              "Figure 12: Path Queries", "fig12_path_queries.txt"),
-    "fig13": (experiments.run_fig13_subgraph_queries,
-              "Figure 13: Subgraph Queries", "fig13_subgraph_queries.txt"),
-    "fig14": (experiments.run_fig14_skewness,
-              "Figure 14: Irregularity (Skewness)", "fig14_skewness.txt"),
-    "fig15": (experiments.run_fig15_variance,
-              "Figure 15: Irregularity (Variance)", "fig15_variance.txt"),
-    "fig16": (experiments.run_fig16_17_update_cost,
-              "Figures 16/17: Insertion Throughput and Latency",
-              "fig16_17_update_cost.txt"),
-    "fig18": (experiments.run_fig18_delete_throughput,
-              "Figure 18: Deletion Throughput", "fig18_delete_throughput.txt"),
-    "fig19": (experiments.run_fig19_space_cost,
-              "Figure 19: Space Cost", "fig19_space_cost.txt"),
-    "fig20a": (experiments.run_fig20a_parallelization,
-               "Figure 20(a): Parallelization", "fig20a_parallelization.txt"),
-    "fig20b": (experiments.run_fig20b_mmb_and_ob,
-               "Figure 20(b): MMB and Overflow Blocks", "fig20b_mmb_ob.txt"),
-    "fig21": (experiments.run_fig21_parameters,
-              "Figure 21: Parameter Analysis (d1)", "fig21_parameters.txt"),
-    "batch": (experiments.run_batch_speedup,
-              "Batch Ingestion Speedup (insert_batch vs insert)",
-              "batch_speedup.txt"),
-    "sharded": (experiments.run_sharded_scaling,
-                "Sharded Ingestion Scaling (wall-clock and projected parallel)",
-                "sharded_scaling.txt"),
-}
 
-#: Experiments whose runners accept a ``scale`` keyword (dataset-based ones).
-_SCALED = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
-           "fig16", "fig18", "fig19", "fig20a", "fig20b", "fig21", "batch",
-           "sharded"}
+@dataclass(frozen=True)
+class Experiment:
+    """One registry entry: a runnable experiment and its presentation.
+
+    Attributes
+    ----------
+    runner:
+        Zero-or-keyword-argument callable returning the experiment's rows.
+    title:
+        Human-readable title shown in listings and result tables.
+    filename:
+        Basename of the text artifact written under the results directory
+        (the JSON twin derives from it).
+    scaled:
+        Whether the runner accepts the CLI's ``scale`` keyword (dataset- and
+        stream-driven experiments do; fixed-shape ones do not).
+    """
+
+    runner: Callable[..., List[dict]]
+    title: str
+    filename: str
+    scaled: bool = True
+
+
+#: Registry mapping experiment ids to their :class:`Experiment` entries.
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table2": Experiment(experiments.run_table2,
+                         "Table II: Summary of Datasets", "table2_datasets.txt"),
+    "fig2": Experiment(experiments.run_fig2_skewness,
+                       "Figure 2: Skewness of Vertex Degrees",
+                       "fig02_skewness.txt"),
+    "fig3": Experiment(experiments.run_fig3_irregularity,
+                       "Figure 3: Irregularity of Item Arrivals",
+                       "fig03_irregularity.txt"),
+    "fig10": Experiment(experiments.run_fig10_edge_queries,
+                        "Figure 10: Edge Queries", "fig10_edge_queries.txt"),
+    "fig11": Experiment(experiments.run_fig11_vertex_queries,
+                        "Figure 11: Vertex Queries", "fig11_vertex_queries.txt"),
+    "fig12": Experiment(experiments.run_fig12_path_queries,
+                        "Figure 12: Path Queries", "fig12_path_queries.txt"),
+    "fig13": Experiment(experiments.run_fig13_subgraph_queries,
+                        "Figure 13: Subgraph Queries",
+                        "fig13_subgraph_queries.txt"),
+    "fig14": Experiment(experiments.run_fig14_skewness,
+                        "Figure 14: Irregularity (Skewness)",
+                        "fig14_skewness.txt", scaled=False),
+    "fig15": Experiment(experiments.run_fig15_variance,
+                        "Figure 15: Irregularity (Variance)",
+                        "fig15_variance.txt", scaled=False),
+    "fig16": Experiment(experiments.run_fig16_17_update_cost,
+                        "Figures 16/17: Insertion Throughput and Latency",
+                        "fig16_17_update_cost.txt"),
+    "fig18": Experiment(experiments.run_fig18_delete_throughput,
+                        "Figure 18: Deletion Throughput",
+                        "fig18_delete_throughput.txt"),
+    "fig19": Experiment(experiments.run_fig19_space_cost,
+                        "Figure 19: Space Cost", "fig19_space_cost.txt"),
+    "fig20a": Experiment(experiments.run_fig20a_parallelization,
+                         "Figure 20(a): Parallelization",
+                         "fig20a_parallelization.txt"),
+    "fig20b": Experiment(experiments.run_fig20b_mmb_and_ob,
+                         "Figure 20(b): MMB and Overflow Blocks",
+                         "fig20b_mmb_ob.txt"),
+    "fig21": Experiment(experiments.run_fig21_parameters,
+                        "Figure 21: Parameter Analysis (d1)",
+                        "fig21_parameters.txt"),
+    "batch": Experiment(experiments.run_batch_speedup,
+                        "Batch Ingestion Speedup (insert_batch vs insert)",
+                        "batch_speedup.txt"),
+    "sharded": Experiment(experiments.run_sharded_scaling,
+                          "Sharded Ingestion Scaling (wall-clock and "
+                          "projected parallel)", "sharded_scaling.txt"),
+    "serve": Experiment(experiments.run_serving,
+                        "Concurrent Serving (mixed read/write, "
+                        "latency percentiles)", "serving_mixed.txt"),
+}
 
 
 def _experiments_epilog() -> str:
-    """One line per registered experiment, rendered into ``--help``."""
+    """One line per registered experiment, rendered into ``--help``.
+
+    Generated from :data:`EXPERIMENTS` — never assembled by hand — so a
+    newly registered experiment appears here automatically.
+    """
     lines = ["experiments:"]
-    for experiment_id, (_runner, title, _filename) in EXPERIMENTS.items():
-        lines.append(f"  {experiment_id:8s} {title}")
+    for experiment_id, entry in EXPERIMENTS.items():
+        lines.append(f"  {experiment_id:8s} {entry.title}")
     return "\n".join(lines)
 
 
@@ -106,15 +148,15 @@ def run_experiment(experiment_id: str, *, scale: float, results_dir: str,
     if experiment_id not in EXPERIMENTS:
         raise BenchmarkError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
-    runner, title, filename = EXPERIMENTS[experiment_id]
-    kwargs = {"scale": scale} if experiment_id in _SCALED else {}
+    entry = EXPERIMENTS[experiment_id]
+    kwargs = {"scale": scale} if entry.scaled else {}
     start = time.perf_counter()
-    rows = runner(**kwargs)
+    rows = entry.runner(**kwargs)
     elapsed = time.perf_counter() - start
-    print(format_table(rows, title=f"{title}  [{elapsed:.1f}s]"))
+    print(format_table(rows, title=f"{entry.title}  [{elapsed:.1f}s]"))
     print()
     if save:
-        save_rows(rows, f"{results_dir}/{filename}", title=title)
+        save_rows(rows, f"{results_dir}/{entry.filename}", title=entry.title)
     return rows
 
 
@@ -124,8 +166,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for experiment_id, (_runner, title, _filename) in EXPERIMENTS.items():
-            print(f"{experiment_id:8s} {title}")
+        for experiment_id, entry in EXPERIMENTS.items():
+            print(f"{experiment_id:8s} {entry.title}")
         return 0
 
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

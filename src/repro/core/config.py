@@ -176,3 +176,61 @@ class ShardingConfig:
                 f"got {self.executor!r}")
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+
+
+#: Admission policies accepted by :class:`ServingConfig`.
+SERVING_ADMISSION_POLICIES = ("block", "drop")
+
+
+@dataclass(frozen=True, slots=True)
+class ServingConfig:
+    """Tunable parameters of a :class:`~repro.serving.ServingEngine`.
+
+    Attributes
+    ----------
+    max_pending:
+        Bound of the admission queue (requests admitted but not yet served).
+        When the queue is full, :attr:`admission` decides what happens to
+        the next submission.
+    admission:
+        Backpressure policy at a full admission queue: ``"block"`` makes the
+        submitting client wait until the scheduler frees capacity (closed
+        systems self-regulate), ``"drop"`` rejects the request immediately
+        with :class:`~repro.errors.ServingError` (open systems shed load
+        instead of building unbounded latency).
+    max_batch_writes:
+        Maximum number of *edges* coalesced into one write epoch.  Larger
+        epochs amortize per-batch overhead but delay the reads queued behind
+        them.
+    max_batch_reads:
+        Maximum number of queries coalesced into one ``query_batch`` call.
+    poll_interval_s:
+        How long the scheduler sleeps waiting for work when the admission
+        queue is empty, in seconds.
+    latency_window:
+        Number of most-recent per-request latency samples kept per request
+        kind for the p50/p95/p99 percentile report.
+    """
+
+    max_pending: int = 1024
+    admission: str = "block"
+    max_batch_writes: int = 8192
+    max_batch_reads: int = 4096
+    poll_interval_s: float = 0.05
+    latency_window: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigurationError("max_pending must be >= 1")
+        if self.admission not in SERVING_ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission must be one of {SERVING_ADMISSION_POLICIES}, "
+                f"got {self.admission!r}")
+        if self.max_batch_writes < 1:
+            raise ConfigurationError("max_batch_writes must be >= 1")
+        if self.max_batch_reads < 1:
+            raise ConfigurationError("max_batch_reads must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ConfigurationError("poll_interval_s must be positive")
+        if self.latency_window < 1:
+            raise ConfigurationError("latency_window must be >= 1")

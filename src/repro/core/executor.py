@@ -42,6 +42,17 @@ from ..errors import ShardingError
 #: invoking the target (handled uniformly by every worker implementation).
 BUSY_SECONDS_OP = "__busy_seconds__"
 
+#: Reserved method name: a no-op barrier.  Because every worker serves its
+#: calls in FIFO order, collecting the result of a drain op proves that every
+#: call submitted before it has finished executing — the epoch barrier the
+#: serving engine builds on (see :meth:`ShardWorker.drain`).
+DRAIN_OP = "__drain__"
+
+#: How often the process-worker collect loop re-checks child liveness, in
+#: seconds.  Small enough that a dead child surfaces promptly; large enough
+#: that polling stays invisible next to real shard work.
+_COLLECT_POLL_SECONDS = 0.05
+
 
 class QueueWorker:
     """A consumer thread draining a bounded queue of work items.
@@ -139,15 +150,31 @@ class ShardWorker(ABC):
     submitted call, in submission order.  Callers keep at most a small,
     bounded number of calls in flight (the sharded engine submits one call
     per scatter round), so collection order is trivially deterministic.
+
+    Every worker carries a :attr:`name` (the engine uses ``"shard-<i>"``)
+    that failure messages embed, so a dead worker is attributable to its
+    shard without extra bookkeeping on the caller's side.
     """
+
+    #: Human-readable worker identity, embedded in failure messages.
+    name: str = "shard"
 
     @abstractmethod
     def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
         """Dispatch ``target.<method>(*args, **kwargs)`` asynchronously."""
 
     @abstractmethod
-    def collect(self) -> ShardResult:
-        """Return the result of the oldest submitted, uncollected call."""
+    def collect(self, timeout: Optional[float] = None) -> ShardResult:
+        """Return the result of the oldest submitted, uncollected call.
+
+        ``timeout`` bounds the wait in seconds; when it elapses the call is
+        abandoned and a failed :class:`ShardResult` carrying a
+        :class:`~repro.errors.ShardingError` is returned instead of blocking
+        forever.  The abandoned call's eventual result is discarded
+        internally, so later collects still pair with their own calls.
+        ``None`` waits indefinitely (but never past the death of the
+        worker's execution vehicle — a dead worker fails fast).
+        """
 
     @abstractmethod
     def close(self) -> None:
@@ -158,10 +185,36 @@ class ShardWorker(ABC):
         self.submit(method, args, kwargs or None)
         return self.collect()
 
+    @property
+    def outstanding(self) -> int:
+        """Number of submitted calls whose results are not yet collected."""
+        return self._outstanding
+
     def busy_seconds(self) -> float:
         """Cumulative wall-clock seconds this worker spent executing calls."""
         result = self.call(BUSY_SECONDS_OP)
         return float(result.value) if result.ok else 0.0
+
+    def drain(self, timeout: Optional[float] = None) -> ShardResult:
+        """Block until every previously submitted call has finished.
+
+        Submits the reserved no-op :data:`DRAIN_OP`; FIFO service order
+        makes collecting its result a barrier.  Results of calls that were
+        submitted but never collected are **discarded** on the way — after
+        a barrier they can no longer be attributed to their callers — so
+        callers that still need those results must collect them *before*
+        draining (:class:`~repro.sharding.PendingBatch` enforces this at
+        the engine level).  ``timeout`` bounds each internal wait, not the
+        whole drain.  Returns the drain op's :class:`ShardResult` (failed
+        when the worker died or a wait timed out), so a worker pool can be
+        quiesced with per-shard failure attribution.
+        """
+        owed = self.outstanding
+        self.submit(DRAIN_OP)
+        result = ShardResult(True, None)
+        for _ in range(owed + 1):
+            result = self.collect(timeout)
+        return result
 
 
 def _timed_invoke(target: Any, method: str, args: Tuple, kwargs: Optional[dict],
@@ -183,14 +236,23 @@ class InlineShardWorker(ShardWorker):
     inspect per-shard structures).
     """
 
-    def __init__(self, factory: Callable[[], Any]) -> None:
+    def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
         self.target = factory()
+        self.name = name
         self._busy = [0.0]
         self._pending: List[ShardResult] = []
+
+    @property
+    def outstanding(self) -> int:
+        """Number of submitted calls whose results are not yet collected."""
+        return len(self._pending)
 
     def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
         if method == BUSY_SECONDS_OP:
             self._pending.append(ShardResult(True, self._busy[0]))
+            return
+        if method == DRAIN_OP:
+            self._pending.append(ShardResult(True, None))
             return
         try:
             value = _timed_invoke(self.target, method, args, kwargs, self._busy)
@@ -198,7 +260,7 @@ class InlineShardWorker(ShardWorker):
         except BaseException as exc:  # noqa: BLE001 - reported via ShardResult
             self._pending.append(ShardResult(False, None, exc))
 
-    def collect(self) -> ShardResult:
+    def collect(self, timeout: Optional[float] = None) -> ShardResult:
         return self._pending.pop(0)
 
     def close(self) -> None:
@@ -219,10 +281,17 @@ class ThreadShardWorker(ShardWorker):
 
     def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
         self.target = factory()
+        self.name = name
         self._busy = [0.0]
         self._results: "queue.Queue[ShardResult]" = queue.Queue()
         self._tasks: "queue.Queue[Optional[Tuple[str, Tuple, Optional[dict]]]]" = \
             queue.Queue()
+        #: Results owed by calls a timed-out collect abandoned.  The worker
+        #: still delivers them eventually; collect discards exactly this many
+        #: before returning a live result, keeping the FIFO submit/collect
+        #: pairing intact after a timeout.
+        self._stale = 0
+        self._outstanding = 0
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
         self._thread.start()
         self._closed = False
@@ -236,6 +305,9 @@ class ThreadShardWorker(ShardWorker):
             if method == BUSY_SECONDS_OP:
                 self._results.put(ShardResult(True, self._busy[0]))
                 continue
+            if method == DRAIN_OP:
+                self._results.put(ShardResult(True, None))
+                continue
             try:
                 value = _timed_invoke(self.target, method, args, kwargs, self._busy)
                 self._results.put(ShardResult(True, value))
@@ -246,9 +318,29 @@ class ThreadShardWorker(ShardWorker):
         if self._closed:
             raise ShardingError("submit on a closed shard worker")
         self._tasks.put((method, args, kwargs))
+        self._outstanding += 1
 
-    def collect(self) -> ShardResult:
-        return self._results.get()
+    def collect(self, timeout: Optional[float] = None) -> ShardResult:
+        self._outstanding = max(0, self._outstanding - 1)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is None:
+                result = self._results.get()
+            else:
+                try:
+                    result = self._results.get(
+                        timeout=max(0.0, deadline - time.monotonic()))
+                except queue.Empty:
+                    # Abandon the call but remember that its result is still
+                    # coming, so the pairing of later collects stays correct.
+                    self._stale += 1
+                    return ShardResult(False, None, ShardingError(
+                        f"timed out after {timeout:.3f}s waiting for shard "
+                        f"worker {self.name!r}"))
+            if self._stale:
+                self._stale -= 1
+                continue
+            return result
 
     def close(self) -> None:
         if not self._closed:
@@ -284,6 +376,9 @@ def _process_worker_main(factory: Callable[[], Any], conn) -> None:
         if method == BUSY_SECONDS_OP:
             conn.send(("ok", busy[0]))
             continue
+        if method == DRAIN_OP:
+            conn.send(("ok", None))
+            continue
         try:
             value = _timed_invoke(target, method, args, kwargs, busy)
             conn.send(("ok", value))
@@ -310,6 +405,7 @@ class ProcessShardWorker(ShardWorker):
     target = None
 
     def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
+        self.name = name
         ctx = multiprocessing.get_context()
         self._conn, child_conn = ctx.Pipe()
         self._process = ctx.Process(target=_process_worker_main,
@@ -324,6 +420,11 @@ class ProcessShardWorker(ShardWorker):
         #: submission order preserves the submit/collect pairing even when
         #: the child dies mid-scatter.
         self._submit_markers: List[str] = []
+        #: Results owed by calls a timed-out collect abandoned (see
+        #: :class:`ThreadShardWorker`); discarded as they arrive so later
+        #: collects keep pairing with their own calls.
+        self._stale = 0
+        self._outstanding = 0
         status, payload = self._conn.recv()
         if status != "ready":
             type_name, message = payload
@@ -343,25 +444,69 @@ class ProcessShardWorker(ShardWorker):
             # thereby desynchronize the caller's scatter loop); the failure
             # is delivered through the matching collect() instead.
             self._submit_markers.append("failed")
+            self._outstanding += 1
             return
         self._submit_markers.append("sent")
+        self._outstanding += 1
 
-    def collect(self) -> ShardResult:
+    def collect(self, timeout: Optional[float] = None) -> ShardResult:
+        self._outstanding = max(0, self._outstanding - 1)
         marker = self._submit_markers.pop(0) if self._submit_markers else "sent"
         if marker == "failed":
-            return ShardResult(False, None,
-                               ShardingError("shard worker process died"))
-        try:
-            status, payload = self._conn.recv()
-        except (EOFError, OSError):
-            return ShardResult(False, None,
-                               ShardingError("shard worker process died"))
+            return self._death_result()
+        # Poll instead of a blocking recv: a child that dies between submit
+        # and collect (crash, OOM-kill, SIGKILL) may leave nothing on the
+        # pipe, and an unbounded recv would hang the caller forever.  The
+        # loop waits in short slices, re-checking child liveness each round
+        # and honouring the caller's overall timeout.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if self._conn.poll(_COLLECT_POLL_SECONDS):
+                    status, payload = self._conn.recv()
+                    if self._stale:
+                        # A result owed to an earlier timed-out collect:
+                        # discard it and keep waiting for this call's own.
+                        self._stale -= 1
+                        continue
+                    break
+            except (EOFError, OSError):
+                return self._death_result()
+            if not self._process.is_alive():
+                # One last zero-wait poll: the child may have flushed its
+                # result just before exiting.
+                try:
+                    if self._conn.poll(0):
+                        status, payload = self._conn.recv()
+                        if self._stale:
+                            self._stale -= 1
+                            continue
+                        break
+                except (EOFError, OSError):
+                    pass
+                return self._death_result()
+            if deadline is not None and time.monotonic() >= deadline:
+                # Abandon the call but remember that its result is still
+                # coming, so later collects keep pairing with their calls.
+                self._stale += 1
+                return ShardResult(False, None, ShardingError(
+                    f"timed out after {timeout:.3f}s waiting for shard "
+                    f"worker {self.name!r}"))
         if status == "ok":
             return ShardResult(True, payload)
         type_name, message = payload
         return ShardResult(False, None,
-                           ShardingError(f"shard worker call failed: "
+                           ShardingError(f"shard worker call failed on "
+                                         f"{self.name!r}: "
                                          f"{type_name}: {message}"))
+
+    def _death_result(self) -> ShardResult:
+        """Failed :class:`ShardResult` for a dead child, naming the shard."""
+        exit_code = self._process.exitcode
+        detail = f" (exit code {exit_code})" if exit_code is not None else ""
+        return ShardResult(False, None, ShardingError(
+            f"shard worker process {self.name!r} died between submit and "
+            f"collect{detail}"))
 
     def close(self) -> None:
         if self._closed:
@@ -405,7 +550,7 @@ def make_shard_worker(mode: str, factory: Callable[[], Any], *,
     """
     mode = resolve_executor(mode)
     if mode == "serial":
-        return InlineShardWorker(factory)
+        return InlineShardWorker(factory, name=name)
     if mode == "thread":
         return ThreadShardWorker(factory, name=name)
     if mode == "process":

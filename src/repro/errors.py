@@ -41,6 +41,17 @@ class ShardingError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """Raised when the concurrent serving engine cannot serve a request.
+
+    Covers admission rejections under the ``"drop"`` backpressure policy,
+    submissions to a closed (or closing) engine, and requests abandoned by
+    an engine shutdown.  Failures of the underlying summary (for example a
+    :class:`ShardingError` from a scattered write) propagate unchanged
+    through the request's future instead.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated, parsed, or validated."""
 

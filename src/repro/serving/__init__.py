@@ -1,0 +1,31 @@
+"""Concurrent serving layer: mixed read/write traffic over one summary.
+
+This package turns a passive :class:`~repro.summary.TemporalGraphSummary`
+into a served system:
+
+* :class:`ServingEngine` multiplexes many client threads through a bounded
+  admission queue onto one summary, coalescing writes into
+  ``insert_batch`` epochs and reads into ``query_batch`` rounds, with an
+  epoch barrier between them so no read ever observes a torn mid-batch
+  shard state,
+* :class:`ServingFuture` is the per-request completion handle (and latency
+  probe) clients wait on,
+* :class:`LatencyTracker` keeps the sliding-window p50/p95/p99 latency
+  report the engine's :meth:`~ServingEngine.stats` exposes.
+
+Configuration (queue bound, block/drop backpressure, coalescing limits)
+lives in :class:`~repro.core.config.ServingConfig`; the mixed-workload
+generator that drives the ``serve`` benchmark lives in
+:mod:`repro.streams.generators`.
+"""
+
+from ..core.config import SERVING_ADMISSION_POLICIES, ServingConfig
+from .engine import ServingEngine
+from .metrics import LatencyTracker, nearest_rank
+from .requests import READ, WRITE, ReadRequest, ServingFuture, WriteRequest
+
+__all__ = [
+    "ServingEngine", "ServingConfig", "SERVING_ADMISSION_POLICIES",
+    "ServingFuture", "ReadRequest", "WriteRequest", "READ", "WRITE",
+    "LatencyTracker", "nearest_rank",
+]

@@ -1,0 +1,391 @@
+"""The concurrent serving engine: mixed read/write traffic over one summary.
+
+:class:`ServingEngine` multiplexes many client threads onto a single
+:class:`~repro.summary.TemporalGraphSummary` (typically a
+:class:`~repro.sharding.ShardedSummary`) through a bounded admission queue
+and a single scheduler thread.  The request lifecycle is::
+
+    admission ──► coalesce ──► epoch commit ──► collect/answer
+    (bounded       (writes →      (insert_batch      (futures
+     queue,         one batch;     across all         resolved,
+     block/drop     reads → one    shards, barrier    latencies
+     policy)        query_batch)   before reads)      recorded)
+
+**Epoch-based read/write interleaving.**  Each scheduler round drains a
+contiguous prefix of the admission queue and splits it into a write set and
+a read set.  The writes are coalesced into one ``insert_batch`` — submitted
+through the engine's :meth:`~repro.sharding.ShardedSummary.insert_batch_async`
+submit-without-collect path when the summary offers one, and resolved as the
+epoch barrier — so the entire write epoch is applied on *every* shard before
+any read of the round is issued.  Reads therefore always observe a
+prefix-consistent state: the summary exactly as it was after some whole
+number of committed write epochs, never a torn mid-batch state where one
+shard has applied a write its sibling has not (the epoch-consistency stress
+test enforces this against the Exact baseline).
+
+**Backpressure.**  The admission queue is bounded
+(:attr:`~repro.core.config.ServingConfig.max_pending`); at capacity the
+``"block"`` policy parks the submitting client while ``"drop"`` rejects with
+:class:`~repro.errors.ServingError`, so an open-loop overload degrades into
+explicit rejections instead of unbounded queueing latency.
+
+**Observability.**  Every request's admission-to-completion latency feeds a
+sliding-window tracker; :meth:`ServingEngine.stats` reports p50/p95/p99 per
+request kind plus epoch/served/dropped counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Union
+
+from ..core.config import ServingConfig
+from ..errors import ServingError
+from ..streams.edge import StreamEdge
+from ..summary import TemporalGraphSummary
+from .metrics import LatencyTracker
+from .requests import ReadRequest, ServingFuture, WriteRequest
+
+_Request = Union[WriteRequest, ReadRequest]
+
+
+class ServingEngine:
+    """Serve concurrent reads and writes over one temporal graph summary.
+
+    Parameters
+    ----------
+    summary:
+        The summary all traffic targets.  Any
+        :class:`~repro.summary.TemporalGraphSummary` works; a
+        :class:`~repro.sharding.ShardedSummary` additionally gets its write
+        epochs submitted through the shard workers' submit-without-collect
+        path.  The engine never closes the summary — it stays caller-owned.
+    config:
+        Queue bound, backpressure policy, coalescing limits
+        (:class:`~repro.core.config.ServingConfig`); ``None`` uses defaults.
+
+    Notes
+    -----
+    The engine is a context manager; leaving the ``with`` block (or calling
+    :meth:`close`) drains every admitted request and stops the scheduler.
+    All public methods are thread-safe.
+
+    **Failed epochs.**  When a write epoch fails (e.g. a
+    :class:`~repro.errors.ShardingError` from a partial shard failure), the
+    round's write futures carry the original error and the round's read
+    futures fail with :class:`~repro.errors.ServingError` — the post-failure
+    state matches no whole-epoch prefix, so serving those reads would be a
+    torn read.  The engine keeps serving afterwards (mirroring
+    :class:`~repro.sharding.ShardedSummary`'s partial-failure semantics,
+    which keep acknowledged counts consistent), but reads after a partial
+    shard failure observe that degraded state; callers needing strict
+    consistency should treat a failed write epoch as a signal to rebuild.
+    """
+
+    def __init__(self, summary: TemporalGraphSummary,
+                 config: Optional[ServingConfig] = None) -> None:
+        self._summary = summary
+        self.config = config or ServingConfig()
+        self._pending: Deque[_Request] = deque()
+        self._inflight = 0          # admitted, not yet resolved
+        self._lock = threading.Lock()
+        self._state = threading.Condition(self._lock)
+        self._closing = False
+        self._epochs = 0
+        self._edges_inserted = 0
+        self._writes_served = 0
+        self._reads_served = 0
+        self._dropped = 0
+        self._failed = 0
+        self._latency = LatencyTracker(self.config.latency_window)
+        self._scheduler = threading.Thread(target=self._loop,
+                                           name="serving-scheduler", daemon=True)
+        self._scheduler.start()
+
+    # ------------------------------------------------------------------ #
+    # client-facing API
+    # ------------------------------------------------------------------ #
+
+    def submit_write(self, edges: Union[StreamEdge, Iterable]) -> ServingFuture:
+        """Admit a write of one stream item (or a batch of items).
+
+        Accepts a single :class:`~repro.streams.edge.StreamEdge`, a
+        ``(source, destination, weight, timestamp)`` tuple, or an iterable
+        of either.  Returns a future resolving to the number of items
+        acknowledged for *this* request once its epoch commits.
+
+        Raises
+        ------
+        ServingError
+            When the engine is closed, or immediately under the ``"drop"``
+            policy when the admission queue is full.
+        """
+        request = WriteRequest(self._normalize_edges(edges))
+        self._admit(request)
+        return request.future
+
+    def submit_query(self, query: Any) -> ServingFuture:
+        """Admit a read: any query object implementing ``evaluate(summary)``.
+
+        The temporal range of the query (when it exposes ``t_start`` /
+        ``t_end``) is validated at admission, so a malformed request is
+        rejected synchronously instead of poisoning the read round it would
+        have been coalesced into.  Returns a future resolving to the
+        estimate.
+
+        Raises
+        ------
+        QueryError
+            On a malformed temporal range.
+        ServingError
+            When the engine is closed, or immediately under the ``"drop"``
+            policy when the admission queue is full.
+        """
+        t_start = getattr(query, "t_start", None)
+        t_end = getattr(query, "t_end", None)
+        if t_start is not None and t_end is not None:
+            self._summary.check_range(t_start, t_end)
+        request = ReadRequest(query)
+        self._admit(request)
+        return request.future
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has been resolved.
+
+        Returns ``True`` when the engine went idle, ``False`` when
+        ``timeout`` seconds elapsed first.
+        """
+        with self._state:
+            return self._state.wait_for(lambda: self._inflight == 0, timeout)
+
+    def close(self) -> None:
+        """Drain admitted requests, stop the scheduler, reject new traffic.
+
+        Idempotent.  Requests admitted before the close are still served
+        (graceful drain); submissions after it raise
+        :class:`~repro.errors.ServingError`.  The underlying summary is left
+        open — it belongs to the caller.
+        """
+        with self._state:
+            if self._closing:
+                closing_thread = None
+            else:
+                self._closing = True
+                closing_thread = self._scheduler
+            self._state.notify_all()
+        if closing_thread is not None:
+            closing_thread.join()
+
+    def __enter__(self) -> "ServingEngine":
+        """Context-manager entry: returns the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: drains and closes the engine."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def epoch(self) -> int:
+        """Number of committed write epochs."""
+        return self._epochs
+
+    def latency_percentiles(self, kind: str) -> Dict[str, float]:
+        """p50/p95/p99 (and mean) latency of ``kind`` (``"read"``/``"write"``)."""
+        return self._latency.percentiles(kind)
+
+    def stats(self) -> Dict[str, object]:
+        """Engine counters plus the per-kind latency report."""
+        with self._lock:
+            pending = len(self._pending)
+            inflight = self._inflight
+        return {
+            "epochs": self._epochs,
+            "edges_inserted": self._edges_inserted,
+            "writes_served": self._writes_served,
+            "reads_served": self._reads_served,
+            "dropped": self._dropped,
+            "failed": self._failed,
+            "pending": pending,
+            "inflight": inflight,
+            "latency": self._latency.snapshot(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _normalize_edges(edges: Union[StreamEdge, Iterable]) -> List[StreamEdge]:
+        """Coerce a write payload into a non-empty list of stream items."""
+        if isinstance(edges, StreamEdge):
+            return [edges]
+        if isinstance(edges, tuple) and len(edges) == 4 and \
+                not isinstance(edges[0], StreamEdge):
+            source, destination, weight, timestamp = edges
+            return [StreamEdge(source, destination, float(weight), int(timestamp))]
+        normalized: List[StreamEdge] = []
+        for item in edges:
+            if isinstance(item, StreamEdge):
+                normalized.append(item)
+            else:
+                source, destination, weight, timestamp = item
+                normalized.append(StreamEdge(source, destination,
+                                             float(weight), int(timestamp)))
+        if not normalized:
+            raise ServingError("a write request needs at least one stream item")
+        return normalized
+
+    def _admit(self, request: _Request) -> None:
+        """Apply the backpressure policy and enqueue one request."""
+        with self._state:
+            if self._closing:
+                raise ServingError("submit on a closed serving engine")
+            if len(self._pending) >= self.config.max_pending:
+                if self.config.admission == "drop":
+                    self._dropped += 1
+                    raise ServingError(
+                        f"admission queue full ({self.config.max_pending} "
+                        f"pending); request dropped")
+                self._state.wait_for(
+                    lambda: self._closing or
+                    len(self._pending) < self.config.max_pending)
+                if self._closing:
+                    raise ServingError("serving engine closed while blocked "
+                                       "on admission")
+            # The future was stamped at submission, so reported latency
+            # includes any time spent blocked here — a saturated engine
+            # must not hide its admission wait from the percentiles.
+            self._pending.append(request)
+            self._inflight += 1
+            self._state.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # scheduler
+    # ------------------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        while True:
+            round_requests = self._next_round()
+            if round_requests is None:
+                return
+            try:
+                self._serve_round(round_requests)
+            except BaseException as exc:  # noqa: BLE001 - scheduler backstop
+                # An unexpected scheduler error must not kill the thread:
+                # that would strand every in-flight and future request.
+                # Fail the round's unresolved futures and keep serving.
+                unresolved = [r for r in round_requests if not r.future.done]
+                if unresolved:
+                    self._finish(unresolved, error=ServingError(
+                        f"round aborted by a scheduler error: {exc!r}"))
+
+    def _next_round(self) -> Optional[List[_Request]]:
+        """Drain one coalescable prefix of the queue (or ``None`` to stop)."""
+        with self._state:
+            while not self._pending:
+                if self._closing:
+                    return None
+                self._state.wait(self.config.poll_interval_s)
+            picked: List[_Request] = []
+            write_edges = 0
+            reads = 0
+            while self._pending:
+                request = self._pending[0]
+                if isinstance(request, WriteRequest):
+                    if picked and write_edges + len(request.edges) > \
+                            self.config.max_batch_writes:
+                        break
+                    write_edges += len(request.edges)
+                else:
+                    if reads >= self.config.max_batch_reads:
+                        break
+                    reads += 1
+                picked.append(self._pending.popleft())
+            self._state.notify_all()
+            return picked
+
+    def _serve_round(self, round_requests: List[_Request]) -> None:
+        """Commit the round's write epoch, then answer the round's reads.
+
+        A failed epoch aborts the round's reads with
+        :class:`~repro.errors.ServingError`: a partial shard failure leaves
+        the summary in a state that matches no whole-epoch prefix, and
+        serving it would be exactly the torn read the engine promises never
+        to produce.
+        """
+        writes = [r for r in round_requests if isinstance(r, WriteRequest)]
+        reads = [r for r in round_requests if isinstance(r, ReadRequest)]
+        epoch_error = self._commit_epoch(writes) if writes else None
+        if not reads:
+            return
+        if epoch_error is not None:
+            self._finish(reads, error=ServingError(
+                f"read round aborted: its write epoch failed "
+                f"({epoch_error})"))
+            return
+        self._answer_reads(reads)
+
+    def _commit_epoch(self, writes: List[WriteRequest]) -> Optional[BaseException]:
+        """Apply the round's writes as one batch; return the failure, if any.
+
+        The batch is fully applied (on every shard, for sharded summaries)
+        before this method returns without error — that is the epoch
+        barrier the round's reads rely on.  Over a sharded summary the
+        epoch goes through the submit-without-collect path and resolving
+        the returned handle is that barrier, made explicit.
+        """
+        edges: List[StreamEdge] = []
+        for request in writes:
+            edges.extend(request.edges)
+        try:
+            submit_async = getattr(self._summary, "insert_batch_async", None)
+            if submit_async is not None:
+                pending = submit_async(edges)
+                inserted = pending.result() if pending is not None else 0
+            else:
+                inserted = self._summary.insert_batch(edges)
+        except BaseException as exc:  # noqa: BLE001 - delivered via futures
+            self._finish(writes, error=exc)
+            return exc
+        self._epochs += 1
+        self._edges_inserted += inserted
+        self._writes_served += len(writes)
+        self._finish(writes, values=[len(r.edges) for r in writes])
+        return None
+
+    def _answer_reads(self, reads: List[ReadRequest]) -> None:
+        """Answer the round's reads in one coalesced ``query_batch``."""
+        try:
+            answers = self._summary.query_batch([r.query for r in reads])
+            if len(answers) != len(reads):
+                raise ServingError(
+                    f"summary.query_batch returned {len(answers)} answers "
+                    f"for {len(reads)} queries")
+        except BaseException as exc:  # noqa: BLE001 - delivered via futures
+            self._finish(reads, error=exc)
+            return
+        self._reads_served += len(reads)
+        self._finish(reads, values=answers)
+
+    def _finish(self, requests: List[_Request], *,
+                values: Optional[List[Any]] = None,
+                error: Optional[BaseException] = None) -> None:
+        """Resolve a round's futures, record latencies, release admission."""
+        for index, request in enumerate(requests):
+            if error is not None:
+                request.future._resolve(error=error)
+            else:
+                request.future._resolve(values[index])
+            latency = request.future.latency_s
+            if latency is not None:
+                self._latency.record(request.future.kind, latency)
+        if error is not None:
+            self._failed += len(requests)
+        with self._state:
+            self._inflight -= len(requests)
+            self._state.notify_all()

@@ -1,0 +1,100 @@
+"""Per-request latency accounting for the serving engine.
+
+The engine records one admission-to-completion latency sample per served
+request, split by request kind (read / write).  The tracker keeps a bounded
+window of recent samples per kind and reports nearest-rank percentiles —
+the p50/p95/p99 triple every serving benchmark and dashboard leads with.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, Tuple
+
+#: The percentile triple reported by :meth:`LatencyTracker.percentiles`.
+REPORTED_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def nearest_rank(sorted_samples: Iterable[float], percentile: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples.
+
+    Uses the classic ceil(p/100 * N) rank definition, so the result is
+    always an observed sample (never an interpolation) and p100 is the
+    maximum.  Raises ``ValueError`` on an empty sample set or a percentile
+    outside ``(0, 100]``.
+    """
+    samples = list(sorted_samples)
+    if not samples:
+        raise ValueError("cannot take a percentile of zero samples")
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    rank = max(1, -(-len(samples) * percentile // 100))  # ceil without math
+    return samples[int(rank) - 1]
+
+
+class LatencyTracker:
+    """Bounded sliding-window latency samples with percentile reporting.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent samples kept per request kind; older samples
+        fall off so a long-running engine reports current, not lifetime,
+        latency.
+
+    The tracker is thread-safe; the engine records from its scheduler thread
+    while clients read snapshots concurrently.
+    """
+
+    def __init__(self, window: int = 65536) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+        self._samples: Dict[str, Deque[float]] = {}
+        self._counts: Dict[str, int] = {}
+        self._total_seconds: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, seconds: float) -> None:
+        """Record one latency sample for request ``kind``."""
+        with self._lock:
+            bucket = self._samples.get(kind)
+            if bucket is None:
+                bucket = self._samples[kind] = deque(maxlen=self._window)
+                self._counts[kind] = 0
+                self._total_seconds[kind] = 0.0
+            bucket.append(seconds)
+            self._counts[kind] += 1
+            self._total_seconds[kind] += seconds
+
+    def count(self, kind: str) -> int:
+        """Lifetime number of samples recorded for ``kind``."""
+        with self._lock:
+            return self._counts.get(kind, 0)
+
+    def percentiles(self, kind: str) -> Dict[str, float]:
+        """p50/p95/p99 (and mean) over the current window of ``kind``.
+
+        Returns an empty dict when no sample of ``kind`` was recorded, so
+        callers can merge the report without special-casing cold kinds.
+        """
+        with self._lock:
+            samples = sorted(self._samples.get(kind, ()))
+        if not samples:
+            return {}
+        report = {f"p{percentile:g}": nearest_rank(samples, percentile)
+                  for percentile in REPORTED_PERCENTILES}
+        report["mean"] = sum(samples) / len(samples)
+        return report
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Full report: per-kind counts, means, and percentile triples."""
+        with self._lock:
+            kinds = list(self._samples)
+        report: Dict[str, Dict[str, float]] = {}
+        for kind in kinds:
+            entry = self.percentiles(kind)
+            entry["count"] = float(self.count(kind))
+            report[kind] = entry
+        return report

@@ -1,0 +1,107 @@
+"""Request and future types exchanged between clients and the serving engine.
+
+Clients submit work to the :class:`~repro.serving.ServingEngine` and
+immediately receive a :class:`ServingFuture`; the scheduler thread resolves
+it once the request's epoch commits (writes) or its read round completes
+(queries).  The future doubles as the per-request latency probe: it stamps
+admission and completion times, and the engine feeds the difference into its
+percentile tracker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..errors import ServingError
+from ..streams.edge import StreamEdge
+
+#: Request kinds tracked separately by the latency report.
+WRITE = "write"
+READ = "read"
+
+
+class ServingFuture:
+    """Completion handle for one admitted serving request.
+
+    The engine resolves each future exactly once, with either a value (the
+    acknowledged edge count for writes, the estimate for reads) or an
+    exception.  Futures are thread-safe: any number of client threads may
+    :meth:`wait` on one.
+    """
+
+    __slots__ = ("kind", "enqueued_at", "completed_at", "_event", "_value",
+                 "_error")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        #: Monotonic submission timestamp.  Latency is measured from here,
+        #: so time spent blocked at a full admission queue counts toward
+        #: the request's reported percentiles.
+        self.enqueued_at: float = time.perf_counter()
+        #: Monotonic completion timestamp (``None`` while pending).
+        self.completed_at: Optional[float] = None
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the request completed (successfully or not)."""
+        return self._event.is_set()
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Admission-to-completion latency in seconds; ``None`` while pending."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.enqueued_at
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the request completes; return its value.
+
+        Raises
+        ------
+        ServingError
+            When ``timeout`` seconds elapse before completion.
+        BaseException
+            Whatever error failed the request (re-raised unchanged).
+        """
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"timed out after {timeout}s waiting for a {self.kind} request")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until completion (or ``timeout``); return :attr:`done`."""
+        return self._event.wait(timeout)
+
+    def _resolve(self, value: Any = None,
+                 error: Optional[BaseException] = None) -> None:
+        """Complete the future (engine-internal; first resolution wins)."""
+        if self._event.is_set():  # pragma: no cover - defensive
+            return
+        self._value = value
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+
+@dataclass(slots=True)
+class WriteRequest:
+    """One admitted write: a list of stream items and its future."""
+
+    edges: List[StreamEdge]
+    future: ServingFuture = field(default_factory=lambda: ServingFuture(WRITE))
+
+
+@dataclass(slots=True)
+class ReadRequest:
+    """One admitted read: a query object (``evaluate`` protocol) and its future."""
+
+    query: Any
+    future: ServingFuture = field(default_factory=lambda: ServingFuture(READ))

@@ -18,9 +18,10 @@ submit-collect protocol) lives in :mod:`repro.core.executor` and is shared
 with the pipelined inserter.
 """
 
-from .engine import HiggsShardFactory, ShardedSummary
+from .engine import HiggsShardFactory, PendingBatch, ShardedSummary
 from .partition import PARTITION_MODES, ShardPartitioner
 
 __all__ = [
-    "HiggsShardFactory", "ShardedSummary", "ShardPartitioner", "PARTITION_MODES",
+    "HiggsShardFactory", "PendingBatch", "ShardedSummary", "ShardPartitioner",
+    "PARTITION_MODES",
 ]

@@ -59,6 +59,50 @@ class HiggsShardFactory:
         return Higgs(self.config)
 
 
+class PendingBatch:
+    """Handle to an :meth:`ShardedSummary.insert_batch_async` in flight.
+
+    Holds the shard order of the submitted sub-batches; :meth:`result`
+    gathers the per-shard acknowledgements with exactly the semantics of the
+    synchronous :meth:`~ShardedSummary.insert_batch` (all shards finish,
+    counts recorded, :class:`~repro.errors.ShardingError` on any failure).
+
+    The handle must be resolved exactly once, and no other engine operation
+    may run between submission and resolution — the submit/collect protocol
+    pairs results by order, so an interleaved call would collect this
+    batch's results.  The engine enforces this: every other operation
+    (including :meth:`~ShardedSummary.quiesce`) raises
+    :class:`~repro.errors.ShardingError` while a handle is unresolved.  The
+    serving engine is the intended caller: it submits each write epoch
+    through this path and resolves the handle as the explicit epoch barrier
+    before issuing the round's reads; callers with epoch-local bookkeeping
+    can do it between submission and the barrier.
+    """
+
+    def __init__(self, engine: "ShardedSummary", shard_order: List[int]) -> None:
+        self._engine = engine
+        self._shard_order = shard_order
+        self._resolved = False
+
+    def result(self) -> int:
+        """Gather every shard's acknowledgement; return the inserted count.
+
+        Raises
+        ------
+        ShardingError
+            When any shard's sub-batch failed (after all shards finished and
+            successful counts were recorded), or when the handle was already
+            resolved.
+        """
+        if self._resolved:
+            raise ShardingError("insert_batch_async handle already resolved")
+        self._resolved = True
+        self._engine._pending_async = None
+        return self._engine._finish_insert_batch(
+            {shard: self._engine._workers[shard].collect()
+             for shard in self._shard_order})
+
+
 class ShardedSummary(TemporalGraphSummary):
     """A :class:`~repro.summary.TemporalGraphSummary` sharded across workers.
 
@@ -132,6 +176,7 @@ class ShardedSummary(TemporalGraphSummary):
             self.close()
             raise
         self._shard_items = [0] * self.config.num_shards
+        self._pending_async: Optional["PendingBatch"] = None
         self._closed = False
         self.name = f"Sharded[{self.config.num_shards}]"
 
@@ -149,6 +194,19 @@ class ShardedSummary(TemporalGraphSummary):
         """The partitioner assigning stream items to shards."""
         return self._partitioner
 
+    def _assert_no_pending_async(self) -> None:
+        """Refuse to interleave with an unresolved async batch.
+
+        The submit/collect protocol pairs results by order; running any
+        other shard operation before the outstanding
+        :class:`PendingBatch` is resolved would collect *its* results, so
+        the engine fails loudly instead of silently mispairing.
+        """
+        if self._pending_async is not None:
+            raise ShardingError(
+                "operation attempted while an insert_batch_async is "
+                "unresolved; resolve the PendingBatch first")
+
     def _scatter(self, calls: Dict[int, Tuple[str, Tuple]]) -> Dict[int, ShardResult]:
         """Submit one call per involved shard, then gather every result.
 
@@ -157,6 +215,7 @@ class ShardedSummary(TemporalGraphSummary):
         deterministic.  All results are collected even when some fail;
         callers decide how to surface failures.
         """
+        self._assert_no_pending_async()
         order = sorted(calls)
         for shard in order:
             method, args = calls[shard]
@@ -165,6 +224,7 @@ class ShardedSummary(TemporalGraphSummary):
 
     def _call_shard(self, shard: int, method: str, *args) -> ShardResult:
         """Route one call to one shard and return its result."""
+        self._assert_no_pending_async()
         return self._workers[shard].call(method, *args)
 
     @staticmethod
@@ -216,7 +276,10 @@ class ShardedSummary(TemporalGraphSummary):
                  for shard, part in enumerate(parts) if part}
         if not calls:
             return 0
-        results = self._scatter(calls)
+        return self._finish_insert_batch(self._scatter(calls))
+
+    def _finish_insert_batch(self, results: Dict[int, ShardResult]) -> int:
+        """Record per-shard acknowledgements and surface scatter failures."""
         inserted = 0
         for shard, result in results.items():
             if result.ok:
@@ -224,6 +287,34 @@ class ShardedSummary(TemporalGraphSummary):
                 inserted += result.value
         self._raise_scatter_failure("insert_batch", results)
         return inserted
+
+    def insert_batch_async(self, edges) -> Optional[PendingBatch]:
+        """Submit a batch to the shards without collecting the results.
+
+        The submit-without-collect half of :meth:`insert_batch`: the batch
+        is partitioned and each shard's sub-batch is dispatched, but the
+        caller keeps control while shards execute (thread/process executors)
+        and resolves the returned :class:`PendingBatch` when it needs the
+        barrier.  Returns ``None`` for an empty batch (nothing submitted,
+        nothing to resolve).
+
+        No other operation may run on this engine until the handle is
+        resolved (the engine raises :class:`~repro.errors.ShardingError`
+        otherwise) — see :class:`PendingBatch`.
+        """
+        self._assert_no_pending_async()
+        parts = self._partitioner.split(edges)
+        calls = {shard: ("insert_batch", (part,))
+                 for shard, part in enumerate(parts) if part}
+        if not calls:
+            return None
+        order = sorted(calls)
+        for shard in order:
+            method, args = calls[shard]
+            self._workers[shard].submit(method, args)
+        pending = PendingBatch(self, order)
+        self._pending_async = pending
+        return pending
 
     def insert_stream(self, stream, *, batch_size: Optional[int] = None) -> int:
         """Replay a stream through the engine in partition rounds.
@@ -451,6 +542,27 @@ class ShardedSummary(TemporalGraphSummary):
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+
+    def quiesce(self, timeout: Optional[float] = None) -> None:
+        """Block until every shard worker has finished its submitted work.
+
+        Drains each worker with the reserved barrier op (FIFO service order
+        makes collecting the barrier's result proof that all earlier calls
+        completed).  This is the engine-wide epoch barrier the serving layer
+        uses between a write epoch and the reads that must observe it.
+
+        Raises
+        ------
+        ShardingError
+            When an :meth:`insert_batch_async` handle is still unresolved
+            (its results must be collected, not discarded by a barrier), or
+            naming the shards whose drain failed (dead worker) or timed out
+            (``timeout`` seconds per wait).
+        """
+        self._assert_no_pending_async()
+        results = {shard: worker.drain(timeout)
+                   for shard, worker in enumerate(self._workers)}
+        self._raise_scatter_failure("quiesce", results)
 
     def close(self) -> None:
         """Shut down all shard workers (idempotent).

@@ -2,8 +2,10 @@
 file readers, and descriptive statistics."""
 
 from .edge import GraphStream, StreamEdge
-from .generators import (StreamSpec, generate_stream, generate_skewness_suite,
-                         generate_variance_suite, reskew_to_shards)
+from .generators import (MixedWorkloadSpec, ServingOp, StreamSpec,
+                         generate_mixed_workload, generate_stream,
+                         generate_skewness_suite, generate_variance_suite,
+                         reskew_to_shards)
 from .datasets import (DATASETS, DATASET_ORDER, DatasetDescriptor,
                        dataset_names, load_dataset, table2_rows)
 from .readers import read_stream, write_stream, iter_edges_from_text
@@ -13,6 +15,7 @@ __all__ = [
     "GraphStream", "StreamEdge",
     "StreamSpec", "generate_stream", "generate_skewness_suite",
     "generate_variance_suite", "reskew_to_shards",
+    "MixedWorkloadSpec", "ServingOp", "generate_mixed_workload",
     "DATASETS", "DATASET_ORDER", "DatasetDescriptor", "dataset_names",
     "load_dataset", "table2_rows",
     "read_stream", "write_stream", "iter_edges_from_text",

@@ -249,6 +249,149 @@ def reskew_to_shards(stream: GraphStream, *, num_shards: int,
                        f"{stream.name}-hot{hot_shards}/{num_shards}")
 
 
+@dataclass(slots=True)
+class MixedWorkloadSpec:
+    """Parameters of a mixed read/write serving workload.
+
+    Attributes
+    ----------
+    num_requests:
+        Total number of requests generated.
+    read_ratio:
+        Fraction of requests that are reads, in ``[0, 1]``.  The remaining
+        requests are writes that replay the backing stream in order.
+    write_batch:
+        Stream items carried by each write request (client-side batching).
+    arrival:
+        ``"closed"`` — requests carry no arrival times; each client issues
+        its next request when the previous one completes (the classic
+        closed-loop benchmark).  ``"open"`` — requests carry Poisson arrival
+        offsets (exponential inter-arrival gaps at :attr:`rate_rps`), the
+        open-loop model where load does not slow down when the server does.
+    rate_rps:
+        Mean arrival rate in requests/second; required (positive) when
+        ``arrival="open"``.
+    edge_fraction:
+        Fraction of reads that are edge queries; the rest are vertex
+        queries (alternating out/in direction).
+    range_fraction:
+        Length of each read's temporal range relative to the stream's time
+        span, in ``(0, 1]``.
+    seed:
+        PRNG seed; generation is fully deterministic given the spec.
+    """
+
+    num_requests: int
+    read_ratio: float = 0.5
+    write_batch: int = 16
+    arrival: str = "closed"
+    rate_rps: float = 0.0
+    edge_fraction: float = 0.7
+    range_fraction: float = 0.25
+    seed: int = 17
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` if the spec is not generatable."""
+        if self.num_requests < 1:
+            raise DatasetError("a workload needs at least 1 request")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise DatasetError("read_ratio must be in [0, 1]")
+        if self.write_batch < 1:
+            raise DatasetError("write_batch must be >= 1")
+        if self.arrival not in ("closed", "open"):
+            raise DatasetError("arrival must be 'closed' or 'open'")
+        if self.arrival == "open" and self.rate_rps <= 0:
+            raise DatasetError("open-loop arrival needs a positive rate_rps")
+        if not 0.0 <= self.edge_fraction <= 1.0:
+            raise DatasetError("edge_fraction must be in [0, 1]")
+        if not 0.0 < self.range_fraction <= 1.0:
+            raise DatasetError("range_fraction must be in (0, 1]")
+
+
+@dataclass(slots=True)
+class ServingOp:
+    """One request of a mixed serving workload.
+
+    ``kind`` is ``"write"`` (then :attr:`edges` holds the stream items) or
+    ``"read"`` (then :attr:`query` holds a query object implementing the
+    ``evaluate`` protocol of :mod:`repro.queries.types`).  ``arrival_s`` is
+    the request's offset from workload start in seconds for open-loop
+    workloads, ``None`` for closed-loop ones.
+    """
+
+    kind: str
+    edges: Optional[List[StreamEdge]] = None
+    query: Optional[object] = None
+    arrival_s: Optional[float] = None
+
+
+def generate_mixed_workload(stream: GraphStream,
+                            spec: MixedWorkloadSpec) -> List[ServingOp]:
+    """Generate a mixed read/write request sequence over ``stream``.
+
+    Writes replay the stream in arrival order, :attr:`write_batch` items per
+    request, so the write side preserves the stream's temporal structure.
+    Reads are interleaved by a deterministic coin with bias
+    :attr:`read_ratio` and always target keys already written (edges and
+    vertices sampled from the replayed prefix), so serving benchmarks
+    measure warm-key traffic, not misses; the first request is always a
+    write so reads have a prefix to hit.  Temporal ranges are
+    ``range_fraction``-of-span windows at uniform offsets.
+
+    Query objects are built lazily via :mod:`repro.queries.types` (imported
+    here to keep the streams layer import-light).
+
+    Raises
+    ------
+    DatasetError
+        On an invalid spec or an empty stream.
+    """
+    spec.validate()
+    if not len(stream):
+        raise DatasetError("cannot build a workload over an empty stream")
+    from ..queries.types import EdgeQuery, VertexQuery  # local: avoid cycle
+
+    rng = np.random.default_rng(spec.seed)
+    t_min, t_max = stream.time_span
+    span = max(1, t_max - t_min)
+    range_length = max(1, int(span * spec.range_fraction))
+    edges = list(stream)
+    reads_are_edges = rng.random(spec.num_requests) < spec.edge_fraction
+    read_coin = rng.random(spec.num_requests) < spec.read_ratio
+    # High bound is exclusive: allow start = t_max - range_length + 1 so a
+    # window can end exactly at t_max (the newest data stays queryable).
+    starts = rng.integers(t_min, max(t_min + 1, t_max - range_length + 2),
+                          size=spec.num_requests)
+    if spec.arrival == "open":
+        gaps = rng.exponential(1.0 / spec.rate_rps, size=spec.num_requests)
+        arrivals = np.cumsum(gaps)
+    ops: List[ServingOp] = []
+    cursor = 0          # next stream item to replay
+    directions = ("out", "in")
+    for index in range(spec.num_requests):
+        arrival = float(arrivals[index]) if spec.arrival == "open" else None
+        want_read = bool(read_coin[index]) and cursor > 0
+        if want_read or cursor >= len(edges):
+            if cursor == 0:
+                # Stream exhausted before the first write could happen is
+                # impossible (len >= 1); this guards read-before-write.
+                continue  # pragma: no cover - unreachable by construction
+            pick = edges[int(rng.integers(0, cursor))]
+            t_start = int(starts[index])
+            t_end = min(t_max, t_start + range_length - 1)
+            if reads_are_edges[index]:
+                query = EdgeQuery(pick.source, pick.destination, t_start, t_end)
+            else:
+                query = VertexQuery(pick.source, t_start, t_end,
+                                    directions[index % 2])
+            ops.append(ServingOp("read", query=query, arrival_s=arrival))
+        else:
+            chunk = edges[cursor:cursor + spec.write_batch]
+            cursor += len(chunk)
+            ops.append(ServingOp("write", edges=chunk, arrival_s=arrival))
+    return ops
+
+
 def generate_variance_suite(num_vertices: int = 2_000, num_edges: int = 20_000,
                             variances: Sequence[float] = (600, 800, 1000, 1200, 1400, 1600),
                             seed: int = 13) -> List[GraphStream]:

@@ -31,12 +31,30 @@ class TestRegistry:
     def test_every_paper_experiment_is_registered(self):
         expected = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
                     "fig14", "fig15", "fig16", "fig18", "fig19", "fig20a",
-                    "fig20b", "fig21", "batch", "sharded"}
+                    "fig20b", "fig21", "batch", "sharded", "serve"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_experiment_raises(self, tmp_path):
         with pytest.raises(BenchmarkError):
             run_experiment("fig99", scale=0.01, results_dir=str(tmp_path))
+
+    def test_help_epilogue_is_generated_from_registry(self):
+        """Every registered experiment must appear in ``--help`` with its
+        title — the listing is generated, so nothing can be forgotten."""
+        help_text = build_parser().format_help()
+        for experiment_id, entry in EXPERIMENTS.items():
+            assert experiment_id in help_text
+            # argparse may wrap long lines; the title's first words suffice
+            # to prove the entry was rendered.
+            assert " ".join(entry.title.split()[:3]) in help_text
+
+    def test_registry_entries_are_well_formed(self):
+        filenames = [entry.filename for entry in EXPERIMENTS.values()]
+        assert len(set(filenames)) == len(filenames), "duplicate result files"
+        for entry in EXPERIMENTS.values():
+            assert callable(entry.runner)
+            assert entry.filename.endswith(".txt")
+            assert entry.title
 
 
 class TestExecution:

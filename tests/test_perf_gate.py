@@ -1,0 +1,96 @@
+"""Tests for the CI performance-regression gate (``tools/check_perf.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_perf():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf", REPO_ROOT / "tools" / "check_perf.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_perf", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_perf = _load_check_perf()
+
+
+class TestCompare:
+    BASELINES = {"batch_higgs_speedup_x": {"value": 2.0},
+                 "sharded_parallel_x4": {"value": 2.4}}
+
+    def test_within_tolerance_passes(self):
+        measured = {"batch_higgs_speedup_x": 1.5, "sharded_parallel_x4": 2.0,
+                    "batch_higgs_eps": 100_000.0}
+        rows = check_perf.compare(measured, self.BASELINES, tolerance=0.30)
+        by_metric = {row["metric"]: row for row in rows}
+        assert by_metric["batch_higgs_speedup_x"]["ok"]          # 1.5 >= 1.4
+        assert by_metric["sharded_parallel_x4"]["ok"]            # 2.0 >= 1.68
+        info = by_metric["batch_higgs_eps"]
+        assert not info["gated"] and info["ok"]
+
+    def test_regression_past_tolerance_fails(self):
+        measured = {"batch_higgs_speedup_x": 1.3, "sharded_parallel_x4": 2.4}
+        rows = check_perf.compare(measured, self.BASELINES, tolerance=0.30)
+        failed = [row for row in rows if row["gated"] and not row["ok"]]
+        assert [row["metric"] for row in failed] == ["batch_higgs_speedup_x"]
+        assert failed[0]["floor"] == pytest.approx(1.4)
+
+    def test_missing_gated_metric_fails(self):
+        rows = check_perf.compare({"batch_higgs_speedup_x": 2.0},
+                                  self.BASELINES, tolerance=0.30)
+        missing = [row for row in rows if row["measured"] is None]
+        assert [row["metric"] for row in missing] == ["sharded_parallel_x4"]
+        assert missing[0]["gated"] and not missing[0]["ok"]
+
+
+class TestCommittedBaselines:
+    def test_baselines_file_is_well_formed(self):
+        spec = json.loads((REPO_ROOT / "benchmarks" / "baselines.json")
+                          .read_text(encoding="utf-8"))
+        assert 0.0 < spec["tolerance"] < 1.0
+        assert spec["scale"] > 0
+        assert set(spec["metrics"]) == {"batch_higgs_speedup_x",
+                                        "sharded_parallel_x4"}
+        for entry in spec["metrics"].values():
+            assert entry["value"] > 1.0, "a gated speedup baseline must be >1x"
+
+
+class TestInjectedSlowdown:
+    """The gate must demonstrably fail when the guarded path gets slower."""
+
+    def test_injected_slowdown_collapses_batch_speedup(self, monkeypatch):
+        from repro.core.higgs import Higgs
+
+        original = Higgs.insert_batch
+
+        def slowed(self, edges):
+            time.sleep(0.02)
+            return original(self, edges)
+
+        # Miniature clean measurement first, then the same with a real
+        # slowdown injected into the batch path; the gated ratio must
+        # collapse below a 30% tolerance floor of the clean figure.
+        clean = check_perf.run_measurements(scale=0.01)
+        monkeypatch.setattr(Higgs, "insert_batch", slowed)
+        slow = check_perf.run_measurements(scale=0.01)
+
+        baselines = {"batch_higgs_speedup_x":
+                     {"value": clean["batch_higgs_speedup_x"]}}
+        rows = check_perf.compare(slow, baselines, tolerance=0.30)
+        gated = next(row for row in rows
+                     if row["metric"] == "batch_higgs_speedup_x")
+        assert not gated["ok"], (
+            f"injected slowdown did not trip the gate: clean "
+            f"{clean['batch_higgs_speedup_x']:.2f}x vs slowed "
+            f"{slow['batch_higgs_speedup_x']:.2f}x")

@@ -1,0 +1,424 @@
+"""Tests for the concurrent serving engine, its config, metrics, and the
+mixed-workload generator — including the epoch-consistency stress test."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import ServingConfig, ServingEngine, ShardedSummary
+from repro.baselines.exact import ExactTemporalGraph
+from repro.errors import ConfigurationError, DatasetError, QueryError, ServingError
+from repro.queries.types import EdgeQuery, VertexQuery
+from repro.serving import LatencyTracker, nearest_rank
+from repro.streams.edge import StreamEdge
+from repro.streams.generators import (MixedWorkloadSpec, StreamSpec,
+                                      generate_mixed_workload, generate_stream)
+
+
+def _edges(n, offset=0):
+    return [StreamEdge(f"s{(i + offset) % 11}", f"d{(i + offset) % 7}", 1.0,
+                       i + offset) for i in range(n)]
+
+
+class TestServingConfig:
+    def test_defaults_valid(self):
+        config = ServingConfig()
+        assert config.admission == "block"
+        assert config.max_pending >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_pending": 0},
+        {"admission": "explode"},
+        {"max_batch_writes": 0},
+        {"max_batch_reads": 0},
+        {"poll_interval_s": 0.0},
+        {"latency_window": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(**kwargs)
+
+
+class TestLatencyTracker:
+    def test_nearest_rank_percentiles(self):
+        samples = sorted(float(i) for i in range(1, 101))
+        assert nearest_rank(samples, 50.0) == 50.0
+        assert nearest_rank(samples, 95.0) == 95.0
+        assert nearest_rank(samples, 99.0) == 99.0
+        assert nearest_rank(samples, 100.0) == 100.0
+        assert nearest_rank([7.0], 50.0) == 7.0
+
+    def test_nearest_rank_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 50.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+
+    def test_window_and_snapshot(self):
+        tracker = LatencyTracker(window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            tracker.record("read", value)
+        report = tracker.percentiles("read")
+        # The window dropped the 1.0 sample; p50 over [2,3,4,100] is 3.
+        assert report["p50"] == 3.0
+        assert tracker.count("read") == 5
+        assert tracker.percentiles("write") == {}
+        snapshot = tracker.snapshot()
+        assert snapshot["read"]["count"] == 5.0
+
+
+class TestServingEngineBasics:
+    def test_writes_then_reads_are_exact(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            engine.submit_write(StreamEdge("a", "b", 2.0, 5)).result(5)
+            engine.submit_write([("a", "b", 1.0, 7), ("b", "c", 3.0, 8)]).result(5)
+            assert engine.submit_query(EdgeQuery("a", "b", 0, 10)).result(5) == 3.0
+            assert engine.submit_query(
+                VertexQuery("b", 0, 10, "out")).result(5) == 3.0
+            stats = engine.stats()
+            assert stats["edges_inserted"] == 3
+            assert stats["writes_served"] == 2
+            assert stats["reads_served"] == 2
+            assert stats["epochs"] >= 1
+            assert stats["latency"]["write"]["count"] == 2.0
+
+    def test_write_future_reports_per_request_count(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            futures = [engine.submit_write(_edges(3, offset=i * 3))
+                       for i in range(5)]
+            assert [future.result(5) for future in futures] == [3] * 5
+
+    def test_empty_write_rejected(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            with pytest.raises(ServingError):
+                engine.submit_write([])
+
+    def test_malformed_query_rejected_at_admission(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            with pytest.raises(QueryError):
+                engine.submit_query(EdgeQuery("a", "b", 10, 5))
+            # The engine still serves well-formed traffic afterwards.
+            engine.submit_write(StreamEdge("a", "b", 1.0, 1)).result(5)
+            assert engine.submit_query(EdgeQuery("a", "b", 0, 5)).result(5) == 1.0
+
+    def test_submit_after_close_rejected(self):
+        engine = ServingEngine(ExactTemporalGraph())
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ServingError):
+            engine.submit_write(StreamEdge("a", "b", 1.0, 1))
+        with pytest.raises(ServingError):
+            engine.submit_query(EdgeQuery("a", "b", 0, 5))
+
+    def test_close_drains_admitted_requests(self):
+        engine = ServingEngine(ExactTemporalGraph())
+        futures = [engine.submit_write(_edges(2, offset=2 * i))
+                   for i in range(50)]
+        engine.close()
+        assert all(future.result(5) == 2 for future in futures)
+
+    def test_write_failure_delivered_via_future(self):
+        class Exploding(ExactTemporalGraph):
+            def insert_batch(self, edges):
+                raise RuntimeError("disk on fire")
+
+        with ServingEngine(Exploding()) as engine:
+            future = engine.submit_write(StreamEdge("a", "b", 1.0, 1))
+            with pytest.raises(RuntimeError, match="disk on fire"):
+                future.result(5)
+            assert engine.stats()["failed"] == 1
+
+    def test_latency_percentiles_exposed(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            for i in range(20):
+                engine.submit_write(StreamEdge("a", "b", 1.0, i)).result(5)
+            report = engine.latency_percentiles("write")
+            assert set(report) == {"p50", "p95", "p99", "mean"}
+            assert report["p50"] <= report["p95"] <= report["p99"]
+
+
+class TestBackpressure:
+    def test_drop_policy_rejects_at_capacity(self):
+        config = ServingConfig(max_pending=4, admission="drop",
+                               poll_interval_s=0.01)
+
+        class Slow(ExactTemporalGraph):
+            def insert_batch(self, edges):
+                time.sleep(0.05)
+                return super().insert_batch(edges)
+
+        engine = ServingEngine(Slow(), config)
+        try:
+            dropped = 0
+            futures = []
+            for i in range(100):
+                try:
+                    futures.append(engine.submit_write(
+                        StreamEdge("a", "b", 1.0, i)))
+                except ServingError:
+                    dropped += 1
+            assert dropped > 0
+            assert engine.stats()["dropped"] == dropped
+            for future in futures:
+                assert future.result(30) == 1
+        finally:
+            engine.close()
+
+    def test_block_policy_admits_everything(self):
+        config = ServingConfig(max_pending=2, admission="block",
+                               poll_interval_s=0.01)
+        with ServingEngine(ExactTemporalGraph(), config) as engine:
+            futures = [engine.submit_write(StreamEdge("a", "b", 1.0, i))
+                       for i in range(200)]
+            assert all(future.result(10) == 1 for future in futures)
+            assert engine.stats()["dropped"] == 0
+            assert engine.stats()["edges_inserted"] == 200
+
+
+class TestServingOverShards:
+    def test_sharded_serving_matches_exact(self, tiny_stream):
+        with ShardedSummary(ExactTemporalGraph, shards=3,
+                            executor="thread") as sharded:
+            with ServingEngine(sharded) as engine:
+                for edge in tiny_stream:
+                    engine.submit_write(edge)
+                engine.flush(10)
+                t_min, t_max = tiny_stream.time_span
+                truth = ExactTemporalGraph()
+                truth.insert_stream(tiny_stream)
+                for source, destination in tiny_stream.distinct_edges():
+                    served = engine.submit_query(
+                        EdgeQuery(source, destination, t_min, t_max)).result(5)
+                    assert served == truth.edge_query(source, destination,
+                                                      t_min, t_max)
+            assert sharded.items_ingested == len(tiny_stream)
+
+    def test_flush_goes_idle(self):
+        with ShardedSummary(ExactTemporalGraph, shards=2,
+                            executor="thread") as sharded:
+            with ServingEngine(sharded) as engine:
+                for i in range(100):
+                    engine.submit_write(StreamEdge(f"v{i % 5}", "d", 1.0, i))
+                assert engine.flush(timeout=10)
+                stats = engine.stats()
+                assert stats["pending"] == 0 and stats["inflight"] == 0
+                assert stats["edges_inserted"] == 100
+
+
+class TestEpochConsistency:
+    """Stress test: concurrent reads through the engine must always observe a
+    prefix-consistent state — the summary exactly as it was after some whole
+    number of committed write epochs, never a torn mid-batch shard state.
+
+    Shards hold Exact summaries, so any torn read (one shard ahead of
+    another inside a write batch) would produce a value that matches *no*
+    prefix of acknowledged batches.
+    """
+
+    QUERY = ("s1", "d1")
+    BATCHES = 60
+    BATCH = 40
+
+    def _batches(self):
+        batches = []
+        t = 0
+        for _ in range(self.BATCHES):
+            batch = []
+            for j in range(self.BATCH):
+                # Every batch adds weight to the probed edge from several
+                # sources, spread across shards, so a torn read mid-batch
+                # would surface as a non-prefix value.
+                batch.append(StreamEdge(f"s{j % 5}", f"d{j % 3}", 1.0, t))
+                t += 1
+            batches.append(batch)
+        return batches
+
+    def test_interleaved_reads_observe_prefix_states(self):
+        batches = self._batches()
+        t_max = self.BATCHES * self.BATCH + 1
+
+        # Expected value of the probed query after each whole-batch prefix.
+        truth = ExactTemporalGraph()
+        source, destination = self.QUERY
+        prefix_values = {0.0}
+        for batch in batches:
+            truth.insert_batch(batch)
+            prefix_values.add(truth.edge_query(source, destination, 0, t_max))
+
+        violations = []
+        stop_reading = threading.Event()
+
+        with ShardedSummary(ExactTemporalGraph, shards=3,
+                            executor="thread") as sharded:
+            with ServingEngine(sharded) as engine:
+                def reader():
+                    while not stop_reading.is_set():
+                        value = engine.submit_query(
+                            EdgeQuery(source, destination, 0, t_max)).result(30)
+                        if value not in prefix_values:
+                            violations.append(value)
+
+                readers = [threading.Thread(target=reader, daemon=True)
+                           for _ in range(4)]
+                for thread in readers:
+                    thread.start()
+                write_futures = [engine.submit_write(batch)
+                                 for batch in batches]
+                for future in write_futures:
+                    future.result(30)
+                stop_reading.set()
+                for thread in readers:
+                    thread.join(timeout=30)
+                assert not any(thread.is_alive() for thread in readers)
+
+        assert violations == [], (
+            f"torn reads observed values outside every prefix state: "
+            f"{sorted(set(violations))[:5]}")
+        final = truth.edge_query(source, destination, 0, t_max)
+        assert max(prefix_values) == final
+
+
+class TestMixedWorkloadGenerator:
+    def _stream(self):
+        return generate_stream(StreamSpec(num_vertices=50, num_edges=1_000,
+                                          time_span=1_000, seed=3,
+                                          name="workload-src"))
+
+    def test_deterministic_and_ratio_respected(self):
+        stream = self._stream()
+        # 200 requests at ratio 0.5 expect ~100 writes; the 1000-edge stream
+        # supports 125 write_batch=8 requests, so the write side never runs
+        # dry and the realized ratio stays near the configured one.
+        spec = MixedWorkloadSpec(num_requests=200, read_ratio=0.5,
+                                 write_batch=8, seed=5)
+        ops_a = generate_mixed_workload(stream, spec)
+        ops_b = generate_mixed_workload(stream, spec)
+        assert [op.kind for op in ops_a] == [op.kind for op in ops_b]
+        reads = sum(1 for op in ops_a if op.kind == "read")
+        assert 0.35 <= reads / len(ops_a) <= 0.65
+        assert ops_a[0].kind == "write"
+
+    def test_writes_replay_stream_in_order(self):
+        stream = self._stream()
+        spec = MixedWorkloadSpec(num_requests=300, read_ratio=0.3,
+                                 write_batch=16, seed=5)
+        ops = generate_mixed_workload(stream, spec)
+        replayed = [edge for op in ops if op.kind == "write"
+                    for edge in op.edges]
+        assert replayed == list(stream)[:len(replayed)]
+
+    def test_reads_are_valid_queries_on_seen_keys(self):
+        stream = self._stream()
+        spec = MixedWorkloadSpec(num_requests=200, read_ratio=0.6, seed=9)
+        ops = generate_mixed_workload(stream, spec)
+        t_min, t_max = stream.time_span
+        sources = {edge.source for edge in stream}
+        pairs = stream.distinct_edges()
+        for op in ops:
+            if op.kind != "read":
+                continue
+            query = op.query
+            assert t_min <= query.t_start <= query.t_end <= t_max
+            if isinstance(query, EdgeQuery):
+                assert (query.source, query.destination) in pairs
+            else:
+                assert query.vertex in sources
+
+    def test_open_loop_arrivals_monotonic(self):
+        stream = self._stream()
+        spec = MixedWorkloadSpec(num_requests=100, read_ratio=0.5,
+                                 arrival="open", rate_rps=500.0, seed=2)
+        ops = generate_mixed_workload(stream, spec)
+        arrivals = [op.arrival_s for op in ops]
+        assert all(a is not None for a in arrivals)
+        assert arrivals == sorted(arrivals)
+        closed = generate_mixed_workload(
+            stream, MixedWorkloadSpec(num_requests=10, seed=2))
+        assert all(op.arrival_s is None for op in closed)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_requests": 0},
+        {"num_requests": 10, "read_ratio": 1.5},
+        {"num_requests": 10, "write_batch": 0},
+        {"num_requests": 10, "arrival": "warp"},
+        {"num_requests": 10, "arrival": "open", "rate_rps": 0.0},
+        {"num_requests": 10, "edge_fraction": -0.1},
+        {"num_requests": 10, "range_fraction": 0.0},
+    ])
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            generate_mixed_workload(self._stream(), MixedWorkloadSpec(**kwargs))
+
+    def test_empty_stream_rejected(self):
+        from repro.streams.edge import GraphStream
+        with pytest.raises(DatasetError):
+            generate_mixed_workload(GraphStream([]),
+                                    MixedWorkloadSpec(num_requests=5))
+
+
+class TestFailedEpochAbortsReads:
+    """A read coalesced into a round whose write epoch fails must NOT be
+    answered against the partially-applied state — it fails with
+    ServingError instead (the no-torn-reads guarantee's error path)."""
+
+    class _BlockingQuery:
+        """Query whose evaluation parks the scheduler until released."""
+
+        def __init__(self):
+            self.started = threading.Event()
+            self.release = threading.Event()
+
+        def evaluate(self, summary):
+            self.started.set()
+            assert self.release.wait(10)
+            return 0.0
+
+    def test_reads_in_failed_round_get_serving_error(self):
+        class PoisonedBatch(ExactTemporalGraph):
+            def insert_batch(self, edges):
+                if any(edge.source == "poison" for edge in edges):
+                    raise RuntimeError("shard blew up mid-epoch")
+                return super().insert_batch(edges)
+
+        with ServingEngine(PoisonedBatch()) as engine:
+            # Round 1: a blocking read parks the scheduler so the next
+            # submissions are guaranteed to coalesce into one round.
+            blocker = self._BlockingQuery()
+            blocked_future = engine.submit_query(blocker)
+            assert blocker.started.wait(10)
+            poisoned_write = engine.submit_write(
+                StreamEdge("poison", "b", 1.0, 1))
+            coalesced_read = engine.submit_query(EdgeQuery("a", "b", 0, 10))
+            blocker.release.set()
+            assert blocked_future.result(10) == 0.0
+
+            with pytest.raises(RuntimeError, match="blew up"):
+                poisoned_write.result(10)
+            with pytest.raises(ServingError, match="write epoch failed"):
+                coalesced_read.result(10)
+
+            # The engine keeps serving after the failed round.
+            engine.submit_write(StreamEdge("a", "b", 2.0, 3)).result(10)
+            assert engine.submit_query(EdgeQuery("a", "b", 0, 10)).result(10) == 2.0
+
+
+class TestSchedulerRobustness:
+    """An unexpected scheduler error fails the round's futures instead of
+    silently killing the scheduler thread and stranding all requests."""
+
+    def test_short_query_batch_fails_round_but_engine_survives(self):
+        class ShortAnswers(ExactTemporalGraph):
+            def query_batch(self, queries):
+                return []  # broken contract: fewer answers than queries
+
+        with ServingEngine(ShortAnswers()) as engine:
+            engine.submit_write(StreamEdge("a", "b", 1.0, 1)).result(5)
+            future = engine.submit_query(EdgeQuery("a", "b", 0, 10))
+            with pytest.raises(ServingError, match="0 answers for 1 queries"):
+                future.result(10)
+            # The scheduler survived: writes still serve and flush goes idle.
+            assert engine.submit_write(StreamEdge("a", "b", 1.0, 2)).result(10) == 1
+            assert engine.flush(timeout=10)

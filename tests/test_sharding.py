@@ -362,3 +362,38 @@ class TestShardSkewGenerator:
         partitioner = ShardPartitioner(4, partition_by="source")
         parts = partitioner.split(skewed)
         assert len(parts[0]) == len(skewed)
+
+
+class TestAsyncBatchInterleaveGuard:
+    """While an insert_batch_async handle is unresolved, every other engine
+    operation must fail loudly instead of silently collecting the pending
+    batch's shard results."""
+
+    def _engine(self):
+        from repro.baselines.exact import ExactTemporalGraph
+        return ShardedSummary(ExactTemporalGraph, shards=2, executor="thread")
+
+    def test_interleaved_operations_rejected_until_resolved(self):
+        from repro.errors import ShardingError
+        from repro.streams.edge import StreamEdge
+        edges = [StreamEdge(f"s{i}", f"d{i}", 1.0, i) for i in range(10)]
+        with self._engine() as engine:
+            pending = engine.insert_batch_async(edges)
+            with pytest.raises(ShardingError, match="unresolved"):
+                engine.edge_query("s1", "d1", 0, 100)
+            with pytest.raises(ShardingError, match="unresolved"):
+                engine.insert_batch(edges)
+            with pytest.raises(ShardingError, match="unresolved"):
+                engine.quiesce(timeout=1.0)
+            with pytest.raises(ShardingError, match="unresolved"):
+                engine.insert_batch_async(edges)
+            assert pending.result() == 10
+            # Resolved: the engine serves normally again.
+            assert engine.edge_query("s1", "d1", 0, 100) == 1.0
+            engine.quiesce(timeout=5.0)
+            assert engine.items_ingested == 10
+
+    def test_empty_async_batch_needs_no_resolution(self):
+        with self._engine() as engine:
+            assert engine.insert_batch_async([]) is None
+            engine.quiesce(timeout=5.0)  # nothing pending; must not raise

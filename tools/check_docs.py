@@ -5,8 +5,8 @@ Two checks, both dependency-free so they run identically in CI and locally:
 
 * :func:`find_missing_docstrings` walks the AST of the public-interface
   modules (``src/repro/summary.py`` and everything under
-  ``src/repro/sharding/``) and reports every module, public class, and
-  public function/method without a docstring.
+  ``src/repro/sharding/`` and ``src/repro/serving/``) and reports every
+  module, public class, and public function/method without a docstring.
 * :func:`run_readme_snippets` extracts every fenced ``python`` code block
   from ``README.md`` and executes it in a fresh namespace (with ``src`` on
   ``sys.path``), so the quickstart the README promises actually runs as-is.
@@ -34,6 +34,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCUMENTED_PATHS = (
     REPO_ROOT / "src" / "repro" / "summary.py",
     REPO_ROOT / "src" / "repro" / "sharding",
+    REPO_ROOT / "src" / "repro" / "serving",
 )
 
 

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Performance-regression gate: re-measure the smoke benchmarks, compare.
+
+The repository's performance wins are ratios — the batch ingest path is
+≥2× the per-item path (PR 1), and the 4-shard engine projects well over 1×
+the single-shard ingest throughput (PR 2).  This tool re-runs the ``batch``
+and ``sharded`` smoke benchmarks at a small fixed scale, extracts those
+ratio metrics, and fails when any of them regressed more than the committed
+tolerance below its baseline (``benchmarks/baselines.json``).
+
+Only **ratio** metrics are gated.  Absolute throughputs (also measured and
+written to the report for the CI artifact) vary several-fold across runner
+hardware, so gating them would make the job flaky on fast runners and
+useless on slow ones; the ratios cancel the hardware out while still
+catching the regressions that matter (a broken batch fast path collapses
+the speedup to ~1× no matter the machine).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_perf.py                 # gate
+    PYTHONPATH=src python tools/check_perf.py --update        # refresh baselines
+    PYTHONPATH=src python tools/check_perf.py --inject-slowdown 0.01
+                                                              # prove the gate trips
+
+``--inject-slowdown S`` monkeypatches a ``sleep(S)`` into every
+``Higgs.insert_batch`` call before measuring — a real slowdown of the guarded
+fast path, used to verify locally (and in code review) that the gate actually
+fails when performance regresses.
+
+Exit status: 0 when every gated metric is within tolerance, 1 on regression,
+2 on a malformed baselines file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines.json"
+DEFAULT_REPORT = REPO_ROOT / "results" / "perf_check.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def inject_slowdown(seconds_per_batch: float) -> None:
+    """Slow every ``Higgs.insert_batch`` call by ``seconds_per_batch``.
+
+    A deliberate, real regression of the guarded fast path (not a doctored
+    comparison), so ``--inject-slowdown`` demonstrates end-to-end that the
+    gate fails when the code gets slower.
+    """
+    from repro.core.higgs import Higgs
+    original = Higgs.insert_batch
+
+    def slowed(self, edges):
+        time.sleep(seconds_per_batch)
+        return original(self, edges)
+
+    Higgs.insert_batch = slowed
+
+
+def run_measurements(scale: float) -> Dict[str, float]:
+    """Run the smoke benchmarks; return every metric (gated and informational).
+
+    Gated ratio metrics:
+
+    * ``batch_higgs_speedup_x`` — HIGGS ``insert_batch`` vs per-item
+      ``insert`` throughput ratio (the PR 1 win).
+    * ``sharded_parallel_x4`` — projected-parallel ingest speedup of the
+      4-shard engine over 1 shard (the PR 2 win).
+
+    Informational absolute metrics (reported, not gated):
+    ``batch_higgs_eps``, ``batch_higgs_per_item_eps``, ``sharded_wall_eps_1``.
+    """
+    from repro.bench.experiments import run_batch_speedup, run_sharded_scaling
+
+    batch_rows = run_batch_speedup(methods=("HIGGS",), scale=scale)
+    higgs = next(row for row in batch_rows if row["method"] == "HIGGS")
+
+    sharded_rows = run_sharded_scaling(scale=scale, shard_counts=(1, 4),
+                                       hot_fractions=())
+    by_shards = {row["shards"]: row for row in sharded_rows
+                 if row["figure"] == "sharded"}
+    return {
+        "batch_higgs_speedup_x": float(higgs["speedup"]),
+        "batch_higgs_eps": float(higgs["batch_eps"]),
+        "batch_higgs_per_item_eps": float(higgs["per_item_eps"]),
+        "sharded_parallel_x4": float(by_shards[4]["parallel_x"]),
+        "sharded_wall_eps_1": float(by_shards[1]["wall_eps"]),
+    }
+
+
+def compare(measured: Dict[str, float], baselines: Dict[str, dict],
+            tolerance: float) -> List[Dict[str, object]]:
+    """Compare measured metrics against baselines; return one row per metric.
+
+    Every baselined metric is "higher is better"; a metric regresses when
+    ``measured < baseline * (1 - tolerance)``.  Metrics present in the
+    measurement but absent from the baselines (the informational ones) are
+    reported with ``gated = False`` and never fail.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, value in sorted(measured.items()):
+        entry = baselines.get(name)
+        if entry is None:
+            rows.append({"metric": name, "measured": value, "baseline": None,
+                         "floor": None, "gated": False, "ok": True})
+            continue
+        baseline = float(entry["value"])
+        floor = baseline * (1.0 - tolerance)
+        rows.append({"metric": name, "measured": value, "baseline": baseline,
+                     "floor": floor, "gated": True, "ok": value >= floor})
+    missing = sorted(set(baselines) - set(measured))
+    for name in missing:
+        rows.append({"metric": name, "measured": None,
+                     "baseline": float(baselines[name]["value"]),
+                     "floor": None, "gated": True, "ok": False})
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the gate; see the module docstring for semantics and exit codes."""
+    parser = argparse.ArgumentParser(
+        description="Fail when the smoke benchmarks regressed past tolerance.")
+    parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES,
+                        help="committed baselines file")
+    parser.add_argument("--output", type=Path, default=DEFAULT_REPORT,
+                        help="where to write the fresh numbers (CI artifact)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the baselines file's benchmark scale")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baselines file's relative tolerance")
+    parser.add_argument("--update", action="store_true",
+                        help="write measured values back as the new baselines")
+    parser.add_argument("--inject-slowdown", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="slow every Higgs.insert_batch by SECONDS first "
+                             "(verifies the gate trips)")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = json.loads(args.baselines.read_text(encoding="utf-8"))
+        gated: Dict[str, dict] = spec["metrics"]
+        scale = float(args.scale if args.scale is not None else spec["scale"])
+        tolerance = float(args.tolerance if args.tolerance is not None
+                          else spec["tolerance"])
+    except FileNotFoundError:
+        if not args.update:
+            print(f"error: baselines file {args.baselines} not found "
+                  f"(run with --update to create it)", file=sys.stderr)
+            return 2
+        gated = {}
+        scale = 0.1 if args.scale is None else args.scale
+        tolerance = 0.30 if args.tolerance is None else args.tolerance
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: malformed baselines file {args.baselines}: {exc!r}",
+              file=sys.stderr)
+        return 2
+
+    if args.inject_slowdown > 0:
+        inject_slowdown(args.inject_slowdown)
+        print(f"injected {args.inject_slowdown * 1e3:.1f} ms slowdown per "
+              f"Higgs.insert_batch call")
+
+    print(f"measuring smoke benchmarks at scale {scale} "
+          f"(tolerance {tolerance:.0%}) ...")
+    measured = run_measurements(scale)
+
+    if args.update:
+        gated_names = ("batch_higgs_speedup_x", "sharded_parallel_x4")
+        spec = {
+            "scale": scale,
+            "tolerance": tolerance,
+            "metrics": {name: {"value": round(measured[name], 4)}
+                        for name in gated_names},
+        }
+        args.baselines.parent.mkdir(parents=True, exist_ok=True)
+        args.baselines.write_text(json.dumps(spec, indent=2) + "\n",
+                                  encoding="utf-8")
+        print(f"baselines updated: {args.baselines}")
+        # Gate against what was just written — an accepted baseline refresh
+        # must exit 0, not fail against the superseded values.
+        gated = spec["metrics"]
+
+    rows = compare(measured, gated, tolerance)
+    width = max(len(str(row["metric"])) for row in rows)
+    for row in rows:
+        flag = "  " if row["ok"] else "✗ "
+        kind = "gated" if row["gated"] else "info "
+        baseline = (f"baseline {row['baseline']:.3f} "
+                    f"floor {row['floor']:.3f}" if row["floor"] is not None
+                    else "")
+        value = ("missing" if row["measured"] is None
+                 else f"{row['measured']:.3f}")
+        print(f"{flag}[{kind}] {str(row['metric']).ljust(width)} "
+              f"measured {value}  {baseline}")
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps({
+        "scale": scale, "tolerance": tolerance, "rows": rows,
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"report written: {args.output}")
+
+    failures = [row for row in rows if row["gated"] and not row["ok"]]
+    if failures:
+        print(f"FAILED: {len(failures)} metric(s) regressed past "
+              f"{tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
