@@ -38,7 +38,7 @@ def build_transaction_stream() -> GraphStream:
     for _ in range(120):
         timestamp = rng.randint(BURST_START, BURST_END)
         amount = float(rng.randint(5, 20))
-        for src, dst in zip(RING[:-1], RING[1:]):
+        for src, dst in zip(RING[:-1], RING[1:], strict=True):
             ring_items.append(StreamEdge(src, dst, amount, timestamp))
     merged = list(background.edges) + ring_items
     return GraphStream(merged, sort_by_time=True, name="transfers+ring")
@@ -82,7 +82,7 @@ def main() -> None:
     print()
 
     # The ring as a subgraph query (the paper's subgraph primitive).
-    ring_edges = tuple(zip(RING[:-1], RING[1:]))
+    ring_edges = tuple(zip(RING[:-1], RING[1:], strict=True))
     print("ring subgraph weight, burst window:",
           summary.subgraph_query(ring_edges, BURST_START, BURST_END))
     print("ring subgraph weight, quiet window:",

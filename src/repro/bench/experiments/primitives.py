@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ...errors import BenchmarkError
 from ...queries.evaluation import evaluate_queries
 from ...streams.datasets import DATASET_ORDER
 from ..context import DEFAULT_SCALE, get_context
@@ -43,12 +44,12 @@ def run_query_experiment(kind: str, *,
     Returns long-format rows ``(dataset, Lq, method, aae, are, latency_us)``.
     """
     if kind not in ("edge", "vertex"):
-        raise ValueError("kind must be 'edge' or 'vertex'")
+        raise BenchmarkError("kind must be 'edge' or 'vertex'")
     rows: List[Dict[str, object]] = []
     for dataset in datasets:
         context = get_context(dataset, scale=scale, include=methods)
         for length in _range_lengths_for(context.span_length, range_lengths):
-            if kind == "edge":
+            if kind == "edge":  # noqa: SIM108 - multiline branches read better
                 queries = context.workload.edge_queries(queries_per_length, length)
             else:
                 queries = context.workload.vertex_queries(

@@ -35,11 +35,16 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ...core.config import ServingConfig
-from ...errors import ServingError
+from ...errors import BenchmarkError, ServingError
 from ...serving import ServingEngine
 from ...streams.generators import (MixedWorkloadSpec, ServingOp, StreamSpec,
                                    generate_mixed_workload, generate_stream)
 from ..methods import make_sharded_higgs
+
+#: How long the harness waits for a client thread after its futures should
+#: all have resolved (their own timeout is 120 s).  A thread alive past this
+#: is wedged — the run aborts with attribution instead of hanging the bench.
+_CLIENT_JOIN_TIMEOUT_S = 150.0
 
 
 def _drive_closed_loop(engine: ServingEngine, ops: Sequence[ServingOp],
@@ -51,6 +56,13 @@ def _drive_closed_loop(engine: ServingEngine, ops: Sequence[ServingOp],
     can occasionally be served before the write that creates its target key
     (a cold read), exactly as with real concurrent clients.  The
     single-client rows preserve the generator's strict warm-key ordering.
+
+    Client failures abort the run: every client error is collected and
+    re-raised as one :class:`~repro.errors.BenchmarkError` naming the count
+    and chaining the first cause, so a broken configuration can never be
+    mistaken for a fast one.  Joins are bounded by
+    :data:`_CLIENT_JOIN_TIMEOUT_S`; a client alive past that is reported as
+    stuck instead of hanging the whole benchmark.
     """
     slices = [list(ops[i::clients]) for i in range(clients)]
     errors: List[BaseException] = []
@@ -58,10 +70,8 @@ def _drive_closed_loop(engine: ServingEngine, ops: Sequence[ServingOp],
     def run_client(my_ops: List[ServingOp]) -> None:
         try:
             for op in my_ops:
-                if op.kind == "write":
-                    future = engine.submit_write(op.edges)
-                else:
-                    future = engine.submit_query(op.query)
+                future = engine.submit_write(op.edges) if op.kind == "write" \
+                    else engine.submit_query(op.query)
                 future.result(timeout=120.0)
         except BaseException as exc:  # noqa: BLE001 - re-raised by caller
             errors.append(exc)
@@ -71,17 +81,33 @@ def _drive_closed_loop(engine: ServingEngine, ops: Sequence[ServingOp],
     start = time.perf_counter()
     for thread in threads:
         thread.start()
+    stuck: List[str] = []
     for thread in threads:
-        thread.join()
+        thread.join(timeout=_CLIENT_JOIN_TIMEOUT_S)
+        if thread.is_alive():
+            stuck.append(thread.name)
     wall = time.perf_counter() - start
+    if stuck:
+        raise BenchmarkError(
+            f"{len(stuck)} serving client thread(s) still running after "
+            f"{_CLIENT_JOIN_TIMEOUT_S:.0f}s: {', '.join(stuck)}")
     if errors:
-        raise errors[0]
+        raise BenchmarkError(
+            f"{len(errors)} of {len(threads)} serving clients failed; "
+            f"first error: {errors[0]!r}") from errors[0]
     return {"wall_s": wall}
 
 
 def _drive_open_loop(engine: ServingEngine, ops: Sequence[ServingOp]
                      ) -> Dict[str, float]:
-    """Replay an open-loop workload: submit at generated arrival offsets."""
+    """Replay an open-loop workload: submit at generated arrival offsets.
+
+    Drop-policy rejections at admission are the point of the experiment and
+    are counted (``rejected``); an *accepted* request that then fails is a
+    real error, so every failed future is collected and re-raised as one
+    :class:`~repro.errors.BenchmarkError` (chaining the first cause) instead
+    of being silently absorbed into the throughput numbers.
+    """
     futures = []
     rejected = 0
     start = time.perf_counter()
@@ -97,12 +123,17 @@ def _drive_open_loop(engine: ServingEngine, ops: Sequence[ServingOp]
                 futures.append(engine.submit_query(op.query))
         except ServingError:
             rejected += 1
+    failures: List[BaseException] = []
     for future in futures:
         try:
             future.result(timeout=120.0)
-        except Exception:  # noqa: BLE001 - failures show up in engine stats
-            pass
+        except Exception as exc:  # noqa: BLE001 - aggregated below
+            failures.append(exc)
     wall = time.perf_counter() - start
+    if failures:
+        raise BenchmarkError(
+            f"{len(failures)} of {len(futures)} accepted open-loop requests "
+            f"failed; first error: {failures[0]!r}") from failures[0]
     return {"wall_s": wall, "rejected": rejected, "accepted": len(futures)}
 
 
@@ -117,10 +148,8 @@ def _measure(stream, ops: Sequence[ServingOp], *, shards: int, clients: int,
     engine = make_sharded_higgs(stream, shards, executor="serial")
     try:
         with ServingEngine(engine, config) as serving:
-            if open_loop:
-                timing = _drive_open_loop(serving, ops)
-            else:
-                timing = _drive_closed_loop(serving, ops, clients)
+            timing = _drive_open_loop(serving, ops) if open_loop \
+                else _drive_closed_loop(serving, ops, clients)
             serving.flush()
             stats = serving.stats()
     finally:

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..baselines import (AuxoTime, AuxoTimeCompact, Horae, HoraeCompact, PGSS)
 from ..core import Higgs, HiggsConfig
+from ..errors import BenchmarkError
 from ..sharding import HiggsShardFactory, ShardedSummary
 from ..streams.edge import GraphStream
 from ..summary import DEFAULT_BATCH_SIZE, TemporalGraphSummary
@@ -121,7 +122,7 @@ def make_methods(stream: GraphStream, *,
     selected = list(include) if include is not None else METHOD_ORDER
     unknown = [name for name in selected if name not in factories]
     if unknown:
-        raise KeyError(f"unknown methods requested: {unknown}")
+        raise BenchmarkError(f"unknown methods requested: {unknown}")
     return {name: factories[name]() for name in selected}
 
 

@@ -19,6 +19,7 @@ from .matrix import CompressedMatrix
 from .node import InternalNode, LeafNode
 
 
+# hot-path
 def lift_coordinates(fingerprint: int, address: int, from_level: int,
                      to_level: int, config: HiggsConfig) -> Tuple[int, int]:
     """Lift a ``(fingerprint, address)`` pair from one tree layer to a higher one.
@@ -83,6 +84,7 @@ class _LiftMemo:
 _SPILLED = object()
 
 
+# hot-path
 def _aggregate_entries(node: InternalNode, entries: Iterable[Tuple],
                        memo: _LiftMemo, placed: dict) -> None:
     """Lift and place child entries into the parent, spilling over if needed.

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..errors import ConfigurationError
 from .node import InternalNode, LeafNode
 from .tree import HiggsTree
 
@@ -124,7 +125,7 @@ class QueryPlanCache:
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 1:
-            raise ValueError("QueryPlanCache maxsize must be >= 1")
+            raise ConfigurationError("QueryPlanCache maxsize must be >= 1")
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0

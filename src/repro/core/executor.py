@@ -27,6 +27,7 @@ report per-shard load balance and projected parallel ingest time.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import queue
@@ -290,8 +291,8 @@ class ThreadShardWorker(ShardWorker):
         #: still delivers them eventually; collect discards exactly this many
         #: before returning a live result, keeping the FIFO submit/collect
         #: pairing intact after a timeout.
-        self._stale = 0
-        self._outstanding = 0
+        self._stale = 0  # guarded-by: owner=collect
+        self._outstanding = 0  # guarded-by: owner=submit,collect
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
         self._thread.start()
         self._closed = False
@@ -419,12 +420,12 @@ class ProcessShardWorker(ShardWorker):
         #: collect() must synthesize the failure.  Keeping the markers in
         #: submission order preserves the submit/collect pairing even when
         #: the child dies mid-scatter.
-        self._submit_markers: List[str] = []
+        self._submit_markers: List[str] = []  # guarded-by: owner=submit,collect
         #: Results owed by calls a timed-out collect abandoned (see
         #: :class:`ThreadShardWorker`); discarded as they arrive so later
         #: collects keep pairing with their own calls.
-        self._stale = 0
-        self._outstanding = 0
+        self._stale = 0  # guarded-by: owner=collect
+        self._outstanding = 0  # guarded-by: owner=submit,collect
         status, payload = self._conn.recv()
         if status != "ready":
             type_name, message = payload
@@ -475,15 +476,13 @@ class ProcessShardWorker(ShardWorker):
             if not self._process.is_alive():
                 # One last zero-wait poll: the child may have flushed its
                 # result just before exiting.
-                try:
+                with contextlib.suppress(EOFError, OSError):
                     if self._conn.poll(0):
                         status, payload = self._conn.recv()
                         if self._stale:
                             self._stale -= 1
                             continue
                         break
-                except (EOFError, OSError):
-                    pass
                 return self._death_result()
             if deadline is not None and time.monotonic() >= deadline:
                 # Abandon the call but remember that its result is still
@@ -512,10 +511,8 @@ class ProcessShardWorker(ShardWorker):
         if self._closed:
             return
         self._closed = True
-        try:
+        with contextlib.suppress(BrokenPipeError, OSError):
             self._conn.send(None)
-        except (BrokenPipeError, OSError):
-            pass
         self._process.join(timeout=5)
         if self._process.is_alive():  # pragma: no cover - defensive
             self._process.terminate()

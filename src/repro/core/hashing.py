@@ -38,11 +38,11 @@ def hash64(key: object, seed: int = 0) -> int:
     if isinstance(key, bytes):
         data = key
     elif isinstance(key, str):
-        data = key.encode("utf-8")
-    elif isinstance(key, int):
+        data = key.encode()
+    elif isinstance(key, int):  # noqa: SIM108 - branch chain reads better
         data = key.to_bytes(16, "little", signed=True)
     else:
-        data = repr(key).encode("utf-8")
+        data = repr(key).encode()
 
     # FNV-1a over the bytes.
     h = (0xCBF29CE484222325 ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64

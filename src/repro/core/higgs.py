@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..errors import QueryError
 from ..streams.edge import StreamEdge, Vertex
 from ..summary import TemporalGraphSummary
 from .aggregation import lift_coordinates
@@ -160,7 +161,7 @@ class Higgs(TemporalGraphSummary):
         """Estimated aggregated weight of a vertex's incident edges in range."""
         self.check_range(t_start, t_end)
         if direction not in ("out", "in"):
-            raise ValueError("direction must be 'out' or 'in'")
+            raise QueryError("direction must be 'out' or 'in'")
         fingerprint, address = self._hasher.split(vertex)
         return self._vertex_query_hashed(fingerprint, address,
                                          t_start, t_end, direction, {})
@@ -200,7 +201,7 @@ class Higgs(TemporalGraphSummary):
                 self.check_range(query.t_start, query.t_end)
                 direction = query.direction
                 if direction not in ("out", "in"):
-                    raise ValueError("direction must be 'out' or 'in'")
+                    raise QueryError("direction must be 'out' or 'in'")
                 fingerprint, address = memo_split(query.vertex)
                 append(self._vertex_query_hashed(fingerprint, address,
                                                  query.t_start, query.t_end,

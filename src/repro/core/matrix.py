@@ -132,6 +132,7 @@ class CompressedMatrix:
     # insertion
     # ------------------------------------------------------------------ #
 
+    # hot-path
     def probe_rows(self, fingerprint: int, address: int) -> Tuple[int, ...]:
         """The vertex's candidate row/column indices, probe order.
 
@@ -154,6 +155,7 @@ class CompressedMatrix:
             self.probe_rows(dst_fingerprint, dst_address),
             weight, timestamp) is not None
 
+    # hot-path
     def insert_probed(self, src_fingerprint: int, dst_fingerprint: int,
                       src_rows: Sequence[int], dst_cols: Sequence[int],
                       weight: float,
@@ -240,6 +242,7 @@ class CompressedMatrix:
     # queries
     # ------------------------------------------------------------------ #
 
+    # hot-path
     def query_edge(self, src_fingerprint: int, dst_fingerprint: int,
                    src_address: int, dst_address: int,
                    t_start: Optional[int] = None,
@@ -270,6 +273,7 @@ class CompressedMatrix:
                     total += entry.weight
         return total
 
+    # hot-path
     def query_vertex(self, fingerprint: int, address: int, *,
                      direction: str = "out",
                      t_start: Optional[int] = None,
@@ -309,6 +313,7 @@ class CompressedMatrix:
     # aggregation support
     # ------------------------------------------------------------------ #
 
+    # hot-path
     def iter_canonical_entries(self) -> Iterator[Tuple[int, int, int, int, float,
                                                        Optional[int]]]:
         """Yield ``(f(s), f(d), h(s), h(d), weight, timestamp)`` per entry.

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..errors import ConfigurationError
 from ..streams.edge import GraphStream, StreamEdge
 from .executor import QueueWorker
 from .higgs import Higgs
@@ -47,7 +48,8 @@ class PipelinedInserter:
     def __init__(self, summary: Higgs, *, mode: str = "batched",
                  batch_size: int = 1024) -> None:
         if mode not in ("threaded", "batched", "serial"):
-            raise ValueError("mode must be 'threaded', 'batched', or 'serial'")
+            raise ConfigurationError(
+                "mode must be 'threaded', 'batched', or 'serial'")
         self.summary = summary
         self.mode = mode
         self.batch_size = max(1, batch_size)

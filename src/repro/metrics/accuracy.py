@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+from ..errors import BenchmarkError
+
 
 @dataclass(frozen=True, slots=True)
 class AccuracyReport:
@@ -40,7 +42,8 @@ def average_absolute_error(truths: Sequence[float],
     _check_lengths(truths, estimates)
     if not truths:
         return 0.0
-    return sum(abs(t - e) for t, e in zip(truths, estimates)) / len(truths)
+    return sum(abs(t - e)
+               for t, e in zip(truths, estimates, strict=True)) / len(truths)
 
 
 def average_relative_error(truths: Sequence[float],
@@ -49,7 +52,7 @@ def average_relative_error(truths: Sequence[float],
     _check_lengths(truths, estimates)
     terms: List[float] = []
     zero_truth_error = False
-    for truth, estimate in zip(truths, estimates):
+    for truth, estimate in zip(truths, estimates, strict=True):
         if truth != 0:
             terms.append(abs(truth - estimate) / abs(truth))
         elif estimate != 0:
@@ -66,9 +69,11 @@ def accuracy_report(truths: Sequence[float], estimates: Sequence[float],
     count = len(truths)
     if count == 0:
         return AccuracyReport(0.0, 0.0, 0.0, 1.0, 0, 0)
-    absolute_errors = [abs(t - e) for t, e in zip(truths, estimates)]
+    absolute_errors = [abs(t - e)
+                       for t, e in zip(truths, estimates, strict=True)]
     exact = sum(1 for error in absolute_errors if error <= tolerance)
-    under = sum(1 for t, e in zip(truths, estimates) if e < t - tolerance)
+    under = sum(1 for t, e in zip(truths, estimates, strict=True)
+                if e < t - tolerance)
     return AccuracyReport(
         aae=sum(absolute_errors) / count,
         are=average_relative_error(truths, estimates),
@@ -81,5 +86,5 @@ def accuracy_report(truths: Sequence[float], estimates: Sequence[float],
 
 def _check_lengths(truths: Sequence[float], estimates: Sequence[float]) -> None:
     if len(truths) != len(estimates):
-        raise ValueError(
+        raise BenchmarkError(
             f"truths ({len(truths)}) and estimates ({len(estimates)}) differ in length")

@@ -161,10 +161,8 @@ class QueryWorkloadGenerator:
             current = start
             for _ in range(hops):
                 neighbors = self._adjacency.get(current)
-                if neighbors:
-                    current = self._rng.choice(neighbors)
-                else:
-                    current = self._rng.choice(self._vertices)
+                current = self._rng.choice(neighbors) if neighbors \
+                    else self._rng.choice(self._vertices)
                 path.append(current)
             t_start, t_end = self._random_range(range_length)
             queries.append(PathQuery(tuple(path), t_start, t_end))

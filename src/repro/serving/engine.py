@@ -87,11 +87,11 @@ class ServingEngine:
                  config: Optional[ServingConfig] = None) -> None:
         self._summary = summary
         self.config = config or ServingConfig()
-        self._pending: Deque[_Request] = deque()
-        self._inflight = 0          # admitted, not yet resolved
+        self._pending: Deque[_Request] = deque()  # guarded-by: _state
+        self._inflight = 0  # guarded-by: _state
         self._lock = threading.Lock()
         self._state = threading.Condition(self._lock)
-        self._closing = False
+        self._closing = False  # guarded-by: _state
         self._epochs = 0
         self._edges_inserted = 0
         self._writes_served = 0
@@ -200,7 +200,7 @@ class ServingEngine:
 
     def stats(self) -> Dict[str, object]:
         """Engine counters plus the per-kind latency report."""
-        with self._lock:
+        with self._state:
             pending = len(self._pending)
             inflight = self._inflight
         return {

@@ -12,6 +12,8 @@ import threading
 from collections import deque
 from typing import Deque, Dict, Iterable, Tuple
 
+from ..errors import ConfigurationError
+
 #: The percentile triple reported by :meth:`LatencyTracker.percentiles`.
 REPORTED_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
 
@@ -26,9 +28,12 @@ def nearest_rank(sorted_samples: Iterable[float], percentile: float) -> float:
     """
     samples = list(sorted_samples)
     if not samples:
+        # Stdlib-style math helper: ValueError mirrors statistics.quantiles
+        # and keeps this function importable without repro.errors.
+        # repro-lint: ok ERR001 — see above
         raise ValueError("cannot take a percentile of zero samples")
     if not 0.0 < percentile <= 100.0:
-        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")  # repro-lint: ok ERR001 — same contract as above
     rank = max(1, -(-len(samples) * percentile // 100))  # ceil without math
     return samples[int(rank) - 1]
 
@@ -49,11 +54,11 @@ class LatencyTracker:
 
     def __init__(self, window: int = 65536) -> None:
         if window < 1:
-            raise ValueError("window must be >= 1")
+            raise ConfigurationError("window must be >= 1")
         self._window = window
-        self._samples: Dict[str, Deque[float]] = {}
-        self._counts: Dict[str, int] = {}
-        self._total_seconds: Dict[str, float] = {}
+        self._samples: Dict[str, Deque[float]] = {}  # guarded-by: _lock
+        self._counts: Dict[str, int] = {}  # guarded-by: _lock
+        self._total_seconds: Dict[str, float] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def record(self, kind: str, seconds: float) -> None:

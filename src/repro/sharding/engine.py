@@ -25,6 +25,7 @@ this).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import HiggsConfig, ShardingConfig
@@ -383,12 +384,12 @@ class ShardedSummary(TemporalGraphSummary):
         Under source partitioning, outgoing queries route to the vertex's
         shard; incoming queries (and all queries under edge partitioning)
         scatter to every shard and the per-shard estimates are summed.
-        Raises :class:`~repro.errors.QueryError` on a malformed range and
-        ``ValueError`` on an unknown ``direction``.
+        Raises :class:`~repro.errors.QueryError` on a malformed range or an
+        unknown ``direction``.
         """
         self.check_range(t_start, t_end)
         if direction not in ("out", "in"):
-            raise ValueError("direction must be 'out' or 'in'")
+            raise QueryError("direction must be 'out' or 'in'")
         if self._vertex_routes_to_one_shard(direction):
             shard = self._partitioner.shard_of_vertex(vertex)
             result = self._call_shard(shard, "vertex_query", vertex,
@@ -412,7 +413,8 @@ class ShardedSummary(TemporalGraphSummary):
         """
         if len(path) < 2:
             raise QueryError("a path query needs at least two vertices")
-        return self.subgraph_query(list(zip(path[:-1], path[1:])), t_start, t_end)
+        return self.subgraph_query(list(zip(path[:-1], path[1:], strict=True)),
+                                   t_start, t_end)
 
     def subgraph_query(self, edges: Sequence[Tuple[Vertex, Vertex]],
                        t_start: int, t_end: int) -> float:
@@ -458,7 +460,7 @@ class ShardedSummary(TemporalGraphSummary):
             elif hasattr(query, "vertex"):  # vertex query
                 self.check_range(query.t_start, query.t_end)
                 if query.direction not in ("out", "in"):
-                    raise ValueError("direction must be 'out' or 'in'")
+                    raise QueryError("direction must be 'out' or 'in'")
                 if self._vertex_routes_to_one_shard(query.direction):
                     shard = self._partitioner.shard_of_vertex(query.vertex)
                     per_shard.setdefault(shard, []).append((index, query))
@@ -473,7 +475,7 @@ class ShardedSummary(TemporalGraphSummary):
         self._raise_scatter_failure("query_batch", gathered)
         for shard, items in per_shard.items():
             estimates = gathered[shard].value
-            for (index, _), estimate in zip(items, estimates):
+            for (index, _), estimate in zip(items, estimates, strict=True):
                 results[index] += estimate
         for index, query in composites:
             results[index] = query.evaluate(self)
@@ -573,10 +575,12 @@ class ShardedSummary(TemporalGraphSummary):
         """
         workers, self._workers = getattr(self, "_workers", []), []
         for worker in workers:
-            try:
+            # Best-effort shutdown: one worker's close failure must not keep
+            # its siblings' threads/processes alive; workers report call
+            # failures via ShardResult already.
+            # repro-lint: ok EXC001 — see above
+            with contextlib.suppress(Exception):
                 worker.close()
-            except Exception:  # pragma: no cover - best-effort shutdown
-                pass
         self._closed = True
 
     def __enter__(self) -> "ShardedSummary":

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..errors import DatasetError
 from .edge import GraphStream
 from .generators import StreamSpec, generate_stream
 
@@ -95,7 +96,8 @@ def load_dataset(key: str, *, scale: float = 1.0) -> GraphStream:
         arguments return identical streams.
     """
     if key not in DATASETS:
-        raise KeyError(f"unknown dataset {key!r}; expected one of {DATASET_ORDER}")
+        raise DatasetError(
+            f"unknown dataset {key!r}; expected one of {DATASET_ORDER}")
     desc = DATASETS[key]
     num_edges = max(100, int(desc.edges * scale))
     num_vertices = max(50, int(desc.nodes * scale))

@@ -93,6 +93,9 @@ class GraphStream:
             If the stream is empty.
         """
         if not self._edges:
+            # Documented public contract (tests and callers catch ValueError);
+            # the stream layer stays importable without repro.errors.
+            # repro-lint: ok ERR001 — see above
             raise ValueError("time_span is undefined for an empty stream")
         times = [e.timestamp for e in self._edges]
         return (min(times), max(times))

@@ -379,7 +379,7 @@ def generate_mixed_workload(stream: GraphStream,
             pick = edges[int(rng.integers(0, cursor))]
             t_start = int(starts[index])
             t_end = min(t_max, t_start + range_length - 1)
-            if reads_are_edges[index]:
+            if reads_are_edges[index]:  # noqa: SIM108 - multiline branches read better
                 query = EdgeQuery(pick.source, pick.destination, t_start, t_end)
             else:
                 query = VertexQuery(pick.source, t_start, t_end,

@@ -205,7 +205,7 @@ class TemporalGraphSummary(ABC):
         if len(path) < 2:
             raise QueryError("a path query needs at least two vertices")
         total = 0.0
-        for src, dst in zip(path[:-1], path[1:]):
+        for src, dst in zip(path[:-1], path[1:], strict=True):
             total += self.edge_query(src, dst, t_start, t_end)
         return total
 

@@ -3,12 +3,49 @@
 from __future__ import annotations
 
 import random
+import sys
+from pathlib import Path
 
 import pytest
+
+# Make the repo root importable so tests can use ``tools.analyze`` (the
+# repro-lint analyzer and the runtime lock-order detector) without install.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
 from repro.baselines.exact import ExactTemporalGraph
 from repro.streams.edge import GraphStream, StreamEdge
 from repro.streams.generators import StreamSpec, generate_stream
+
+
+def pytest_configure(config) -> None:
+    """Register the ``lockgraph`` marker (tests run under the detector)."""
+    config.addinivalue_line(
+        "markers",
+        "lockgraph: runs under the runtime lock-order detector "
+        "(tools.analyze.lockgraph); selected by the static-analysis CI job")
+
+
+@pytest.fixture()
+def lock_monitor():
+    """Run the test under the runtime lock-order detector.
+
+    Patches ``threading.Lock``/``RLock``/``Condition`` with instrumented
+    factories for locks created inside the ``repro`` package, yields the
+    :class:`~tools.analyze.lockgraph.LockGraph`, and asserts at teardown
+    that the test produced no lock-order cycle and no blocking wait while
+    holding another instrumented lock.
+    """
+    from tools.analyze import lockgraph
+
+    graph = lockgraph.LockGraph()
+    uninstall = lockgraph.install(graph)
+    try:
+        yield graph
+    finally:
+        uninstall()
+    graph.assert_clean()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,502 @@
+"""Tests for ``tools.analyze``: the repro-lint rules, the driver's
+suppression/baseline machinery, and the runtime lock-order detector.
+
+Every rule gets one tripping fixture and a clean twin, so a rule that stops
+firing (or starts over-firing) is caught by the suite, not by a broken CI
+gate.  The source fixtures are parsed, never executed.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import threading
+
+import pytest
+
+from tools.analyze import REPO_ROOT, analyze_source, main
+from tools.analyze.driver import (BaselineError, apply_baseline,
+                                  emit_baseline, load_baseline)
+from tools.analyze import lockgraph
+
+
+def rules_of(source: str, path: str = "src/repro/mod.py"):
+    """Rule ids found in ``source`` (dedented), in report order."""
+    return [f.rule for f in analyze_source(textwrap.dedent(source), path)]
+
+
+# --------------------------------------------------------------------- #
+# CONC001 — blocking call under a lock
+# --------------------------------------------------------------------- #
+
+class TestBlockingUnderLock:
+    def test_queue_get_under_lock_trips(self):
+        assert rules_of("""
+            class Engine:
+                def bad(self):
+                    with self._lock:
+                        self._queue.get()
+            """) == ["CONC001"]
+
+    def test_clean_twin_get_outside_lock(self):
+        assert rules_of("""
+            class Engine:
+                def good(self):
+                    with self._lock:
+                        size = len(self._pending)
+                    return self._queue.get()
+            """) == []
+
+    def test_dict_get_and_str_join_not_blocking(self):
+        assert rules_of("""
+            class Engine:
+                def good(self):
+                    with self._lock:
+                        value = self._cache.get("key")
+                        label = ", ".join(self._names)
+                        path = os.path.join(base, "x")
+                    return value, label, path
+            """) == []
+
+    def test_wait_on_held_condition_allowed(self):
+        # Condition.wait releases the lock it guards — the correct pattern.
+        assert rules_of("""
+            class Engine:
+                def good(self):
+                    with self._state:
+                        self._state.wait_for(lambda: self._ready)
+            """) == []
+
+    def test_sleep_and_foreign_wait_trip(self):
+        found = rules_of("""
+            class Engine:
+                def bad(self):
+                    with self._lock:
+                        time.sleep(0.1)
+                        self._other_event.wait()
+            """)
+        assert found == ["CONC001", "CONC001"]
+
+
+# --------------------------------------------------------------------- #
+# CONC002 — guarded-by discipline
+# --------------------------------------------------------------------- #
+
+class TestGuardedBy:
+    def test_unlocked_access_trips(self):
+        findings = analyze_source(textwrap.dedent("""
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+                def bad(self):
+                    return len(self._items)
+            """), "src/repro/mod.py")
+        assert [f.rule for f in findings] == ["CONC002"]
+        assert findings[0].symbol == "Engine.bad"
+
+    def test_clean_twin_with_lock_held(self):
+        assert rules_of("""
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+                def good(self):
+                    with self._lock:
+                        return len(self._items)
+            """) == []
+
+    def test_nested_def_loses_the_lock(self):
+        # A closure body runs later, outside the lexical with-block.
+        assert rules_of("""
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+                def bad(self):
+                    with self._lock:
+                        def later():
+                            return self._items
+                        return later
+            """) == ["CONC002"]
+
+    def test_owner_confinement_form(self):
+        found = rules_of("""
+            class Worker:
+                def __init__(self):
+                    self._count = 0  # guarded-by: owner=submit,collect
+                def submit(self):
+                    self._count += 1
+                def collect(self):
+                    self._count -= 1
+                def peek(self):
+                    return self._count
+            """)
+        assert found == ["CONC002"]  # only peek violates
+
+    def test_init_is_always_exempt(self):
+        assert rules_of("""
+            class Worker:
+                def __init__(self):
+                    self._count = 0  # guarded-by: owner=submit
+                def submit(self):
+                    self._count += 1
+            """) == []
+
+
+# --------------------------------------------------------------------- #
+# CONC003 — thread lifecycle
+# --------------------------------------------------------------------- #
+
+class TestThreadLifecycle:
+    def test_untracked_thread_trips(self):
+        assert rules_of("""
+            def run(target):
+                worker = threading.Thread(target=target)
+                worker.start()
+            """) == ["CONC003"]
+
+    def test_daemon_thread_clean(self):
+        assert rules_of("""
+            def run(target):
+                worker = threading.Thread(target=target, daemon=True)
+                worker.start()
+            """) == []
+
+    def test_joined_thread_clean(self):
+        assert rules_of("""
+            def run(target):
+                worker = threading.Thread(target=target)
+                worker.start()
+                worker.join()
+            """) == []
+
+    def test_self_attribute_alias_join_clean(self):
+        assert rules_of("""
+            class Engine:
+                def start(self):
+                    self._thread = threading.Thread(target=self._loop)
+                    self._thread.start()
+                def close(self):
+                    runner = self._thread
+                    runner.join()
+            """) == []
+
+    def test_inline_thread_without_daemon_trips(self):
+        assert rules_of("""
+            def fire(target):
+                threading.Thread(target=target).start()
+            """) == ["CONC003"]
+
+
+# --------------------------------------------------------------------- #
+# EXC001 — swallowed broad excepts
+# --------------------------------------------------------------------- #
+
+class TestSwallowedExcept:
+    def test_broad_pass_trips(self):
+        assert rules_of("""
+            def risky(op):
+                try:
+                    op()
+                except Exception:
+                    pass
+            """) == ["EXC001"]
+
+    def test_narrow_pass_clean(self):
+        assert rules_of("""
+            def risky(op):
+                try:
+                    op()
+                except ValueError:
+                    pass
+            """) == []
+
+    def test_logged_or_recorded_clean(self):
+        assert rules_of("""
+            def risky(op, errors):
+                try:
+                    op()
+                except Exception as exc:
+                    errors.append(exc)
+            """) == []
+
+    def test_broad_contextlib_suppress_trips(self):
+        assert rules_of("""
+            import contextlib
+            def risky(op):
+                with contextlib.suppress(Exception):
+                    op()
+            """) == ["EXC001"]
+
+    def test_narrow_suppress_clean(self):
+        assert rules_of("""
+            from contextlib import suppress
+            def risky(op):
+                with suppress(OSError, EOFError):
+                    op()
+            """) == []
+
+
+# --------------------------------------------------------------------- #
+# ERR001 — builtin raises in src/repro
+# --------------------------------------------------------------------- #
+
+class TestBuiltinRaises:
+    def test_builtin_raise_trips_inside_repro(self):
+        assert rules_of("""
+            def check(value):
+                if value < 0:
+                    raise ValueError("negative")
+            """) == ["ERR001"]
+
+    def test_repro_error_clean(self):
+        assert rules_of("""
+            from repro.errors import QueryError
+            def check(value):
+                if value < 0:
+                    raise QueryError("negative")
+            """) == []
+
+    def test_outside_repro_package_exempt(self):
+        assert rules_of("""
+            def check(value):
+                raise ValueError("negative")
+            """, path="tools/check_perf.py") == []
+
+    def test_not_implemented_is_idiomatic(self):
+        assert rules_of("""
+            def stub():
+                raise NotImplementedError
+            """) == []
+
+
+# --------------------------------------------------------------------- #
+# HOT001 — loops in hot-path functions
+# --------------------------------------------------------------------- #
+
+class TestHotPathLoops:
+    def test_marked_function_loop_trips(self):
+        findings = analyze_source(textwrap.dedent("""
+            # hot-path
+            def kernel(values):
+                total = 0.0
+                for value in values:
+                    total += value
+                return total
+            """), "src/repro/core/mod.py")
+        assert [f.rule for f in findings] == ["HOT001"]
+        assert findings[0].symbol == "kernel"
+
+    def test_unmarked_twin_clean(self):
+        assert rules_of("""
+            def kernel(values):
+                total = 0.0
+                for value in values:
+                    total += value
+                return total
+            """) == []
+
+    def test_marked_loop_free_function_clean(self):
+        assert rules_of("""
+            # hot-path
+            def kernel(values):
+                return sum(values)
+            """) == []
+
+
+# --------------------------------------------------------------------- #
+# driver: suppressions and baseline
+# --------------------------------------------------------------------- #
+
+class TestDriver:
+    def test_inline_suppression_covers_its_line(self):
+        assert rules_of("""
+            class Engine:
+                def bad(self):
+                    with self._lock:
+                        self._queue.get()  # repro-lint: ok CONC001 — bounded
+            """) == []
+
+    def test_standalone_suppression_covers_next_line(self):
+        assert rules_of("""
+            class Engine:
+                def bad(self):
+                    with self._lock:
+                        # repro-lint: ok CONC001 — bounded by design
+                        self._queue.get()
+            """) == []
+
+    def test_suppression_is_rule_specific(self):
+        # Suppressing the wrong rule must not hide the finding.
+        assert rules_of("""
+            class Engine:
+                def bad(self):
+                    with self._lock:
+                        self._queue.get()  # repro-lint: ok EXC001
+            """) == ["CONC001"]
+
+    def test_syntax_error_reports_pseudo_finding(self):
+        assert rules_of("def broken(:\n    pass\n") == ["SYNTAX"]
+
+    def test_baseline_requires_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([{"rule": "HOT001", "path": "x.py",
+                                     "symbol": "f", "justification": "  "}]))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_baseline_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_apply_baseline_splits_new_and_stale(self):
+        findings = analyze_source(textwrap.dedent("""
+            # hot-path
+            def kernel(values):
+                for value in values:
+                    yield value
+            """), "src/repro/core/mod.py")
+        entries = [
+            {"rule": "HOT001", "path": "src/repro/core/mod.py",
+             "symbol": "kernel", "justification": "inventoried"},
+            {"rule": "HOT001", "path": "src/repro/core/gone.py",
+             "symbol": "removed", "justification": "stale"},
+        ]
+        new, stale = apply_baseline(findings, entries)
+        assert new == []
+        assert [e["symbol"] for e in stale] == ["removed"]
+
+    def test_emit_baseline_skeleton_round_trips(self):
+        findings = analyze_source(textwrap.dedent("""
+            # hot-path
+            def kernel(values):
+                for value in values:
+                    yield value
+            """), "src/repro/core/mod.py")
+        skeleton = json.loads(emit_baseline(findings))
+        assert skeleton == [{"rule": "HOT001",
+                             "path": "src/repro/core/mod.py",
+                             "symbol": "kernel", "justification": ""}]
+
+    def test_repo_src_passes_with_committed_baseline(self):
+        """The live acceptance gate: ``python -m tools.analyze src/`` is 0."""
+        assert main([str(REPO_ROOT / "src")]) == 0
+
+    def test_repo_src_baseline_only_hides_hot001(self):
+        """The committed baseline must contain nothing but the HOT001
+        vectorization inventory — concurrency/error findings get fixed."""
+        entries = load_baseline(REPO_ROOT / "tools" / "analyze" / "baseline.json")
+        assert entries, "committed baseline missing"
+        assert {entry["rule"] for entry in entries} == {"HOT001"}
+
+
+# --------------------------------------------------------------------- #
+# runtime lock-order detector
+# --------------------------------------------------------------------- #
+
+class TestLockGraph:
+    def test_opposite_orders_form_a_cycle(self):
+        graph = lockgraph.LockGraph()
+        lock_a = lockgraph.InstrumentedLock(graph, "Lock@a")
+        lock_b = lockgraph.InstrumentedLock(graph, "Lock@b")
+
+        def thread_one():
+            with lock_a, lock_b:
+                pass
+
+        def thread_two():
+            with lock_b, lock_a:
+                pass
+
+        thread_one()
+        worker = threading.Thread(target=thread_two)
+        worker.start()
+        worker.join()
+
+        cycles = graph.cycles()
+        assert cycles and set(cycles[0]) == {"Lock@a", "Lock@b"}
+        with pytest.raises(AssertionError, match="lock-order cycle"):
+            graph.assert_clean()
+
+    def test_consistent_order_is_clean(self):
+        graph = lockgraph.LockGraph()
+        lock_a = lockgraph.InstrumentedLock(graph, "Lock@a")
+        lock_b = lockgraph.InstrumentedLock(graph, "Lock@b")
+        for _ in range(3):
+            with lock_a, lock_b:
+                pass
+        assert graph.cycles() == []
+        graph.assert_clean()
+
+    def test_wait_while_holding_another_lock_flagged(self):
+        graph = lockgraph.LockGraph()
+        outer = lockgraph.InstrumentedLock(graph, "Lock@outer")
+        cond = lockgraph.InstrumentedCondition(graph, "Cond@inner")
+        with outer, cond:
+            cond.wait(timeout=0.01)
+        assert graph.wait_violations
+        assert graph.wait_violations[0]["holding"] == ["Lock@outer"]
+        with pytest.raises(AssertionError, match="blocking wait"):
+            graph.assert_clean()
+        graph.assert_clean(allow_waits=True)  # cycles-only mode passes
+
+    def test_wait_on_own_condition_alone_is_clean(self):
+        graph = lockgraph.LockGraph()
+        cond = lockgraph.InstrumentedCondition(graph, "Cond@only")
+        with cond:
+            cond.wait(timeout=0.01)
+        assert graph.wait_violations == []
+        graph.assert_clean()
+
+    def test_reentrant_rlock_adds_no_self_edge(self):
+        graph = lockgraph.LockGraph()
+        rlock = lockgraph.InstrumentedRLock(graph, "RLock@r")
+        with rlock, rlock:
+            pass
+        assert graph.edges == {}
+        graph.assert_clean()
+
+    def test_install_instruments_only_matching_modules(self):
+        graph = lockgraph.LockGraph()
+        uninstall = lockgraph.install(graph, modules=(__name__,))
+        try:
+            assert isinstance(threading.Lock(),
+                              lockgraph.InstrumentedLock)
+            assert isinstance(threading.Condition(),
+                              lockgraph.InstrumentedCondition)
+        finally:
+            uninstall()
+        assert threading.Lock is lockgraph._REAL_LOCK
+
+    def test_default_install_leaves_foreign_modules_raw(self):
+        graph = lockgraph.LockGraph()
+        uninstall = lockgraph.install(graph)  # repro-only filter
+        try:
+            # This module is not part of the repro package.
+            assert not isinstance(threading.Lock(),
+                                  lockgraph.InstrumentedLock)
+        finally:
+            uninstall()
+
+    def test_wait_for_predicate_wakes_across_threads(self):
+        graph = lockgraph.LockGraph()
+        cond = lockgraph.InstrumentedCondition(graph, "Cond@box")
+        box = {"ready": False}
+
+        def producer():
+            with cond:
+                box["ready"] = True
+                cond.notify_all()
+
+        worker = threading.Thread(target=producer)
+        with cond:
+            worker.start()
+            assert cond.wait_for(lambda: box["ready"], timeout=5)
+        worker.join()
+        graph.assert_clean()

@@ -7,6 +7,7 @@ import json
 
 import pytest
 
+from repro.errors import BenchmarkError
 from repro.bench import (METHOD_ORDER, clear_context_cache, format_table,
                          get_context, make_methods, pivot, save_rows,
                          scaled_higgs_config)
@@ -36,7 +37,7 @@ class TestMethodFactory:
         stream = load_dataset("lkml", scale=TINY_SCALE)
         methods = make_methods(stream, include=["HIGGS", "PGSS"])
         assert list(methods) == ["HIGGS", "PGSS"]
-        with pytest.raises(KeyError):
+        with pytest.raises(BenchmarkError):
             make_methods(stream, include=["HIGGS", "NotAMethod"])
 
     def test_scaled_config_tracks_stream_size(self):
@@ -162,3 +163,108 @@ class TestExperimentSmokeRuns:
             datasets=TINY_DATASETS, scale=TINY_SCALE, leaf_sizes=(8, 16),
             edge_queries=10)
         assert {row["d1"] for row in rows} == {8, 16}
+
+
+class TestServeDrivers:
+    """Regression tests for the serving-benchmark client drivers: client
+    errors surface as ``BenchmarkError`` (never silently absorbed into the
+    throughput numbers) and joins are bounded, so a wedged client aborts the
+    run with attribution instead of hanging the bench."""
+
+    @staticmethod
+    def _ops(n=8):
+        from repro.streams.edge import StreamEdge
+        from repro.streams.generators import ServingOp
+        return [ServingOp("write", edges=[StreamEdge("a", "b", 1.0, i)])
+                for i in range(n)]
+
+    @staticmethod
+    def _engine(backend=None):
+        from repro.baselines.exact import ExactTemporalGraph
+        from repro.serving import ServingEngine
+        return ServingEngine(backend or ExactTemporalGraph())
+
+    def test_closed_loop_happy_path(self):
+        from repro.bench.experiments.serve import _drive_closed_loop
+        with self._engine() as engine:
+            timing = _drive_closed_loop(engine, self._ops(), clients=3)
+        assert timing["wall_s"] >= 0.0
+
+    def test_closed_loop_client_error_raises_benchmark_error(self):
+        from repro.baselines.exact import ExactTemporalGraph
+        from repro.bench.experiments.serve import _drive_closed_loop
+
+        class Exploding(ExactTemporalGraph):
+            def insert_batch(self, edges):
+                raise RuntimeError("disk on fire")
+
+        with self._engine(Exploding()) as engine:
+            with pytest.raises(BenchmarkError, match="clients failed") as info:
+                _drive_closed_loop(engine, self._ops(), clients=2)
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_closed_loop_stuck_client_reported(self, monkeypatch):
+        import time as time_mod
+
+        from repro.bench.experiments import serve
+
+        class _HangingFuture:
+            def result(self, timeout=None):
+                time_mod.sleep(2.0)
+
+        class _HangingEngine:
+            def submit_write(self, edges):
+                return _HangingFuture()
+
+            def submit_query(self, query):
+                return _HangingFuture()
+
+        monkeypatch.setattr(serve, "_CLIENT_JOIN_TIMEOUT_S", 0.05)
+        with pytest.raises(BenchmarkError, match="still running"):
+            serve._drive_closed_loop(_HangingEngine(), self._ops(2), clients=2)
+
+    def test_open_loop_counts_rejections_but_raises_on_failures(self):
+        from repro.bench.experiments.serve import _drive_open_loop
+        from repro.errors import ServingError
+
+        class _Future:
+            def __init__(self, exc=None):
+                self._exc = exc
+
+            def result(self, timeout=None):
+                if self._exc is not None:
+                    raise self._exc
+                return 1
+
+        class _StubEngine:
+            """Rejects every third submit, fails every fourth future."""
+
+            def __init__(self):
+                self.count = 0
+
+            def submit_write(self, edges):
+                self.count += 1
+                if self.count % 3 == 0:
+                    raise ServingError("queue full")
+                if self.count % 4 == 0:
+                    return _Future(RuntimeError("shard died"))
+                return _Future()
+
+            def submit_query(self, query):
+                return self.submit_write(None)
+
+        stub = _StubEngine()
+        with pytest.raises(BenchmarkError, match="accepted open-loop") as info:
+            _drive_open_loop(stub, self._ops(12))
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+        class _CleanRejecting(_StubEngine):
+            def submit_write(self, edges):
+                self.count += 1
+                if self.count % 3 == 0:
+                    raise ServingError("queue full")
+                return _Future()
+
+        timing = _drive_open_loop(_CleanRejecting(), self._ops(12))
+        assert timing["rejected"] == 4
+        assert timing["accepted"] == 8

@@ -58,7 +58,7 @@ class TestBasicOperations:
             higgs.edge_query("a", "b", 10, 5)
         with pytest.raises(QueryError):
             higgs.vertex_query("a", 10, 5)
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             higgs.vertex_query("a", 0, 5, direction="sideways")
         with pytest.raises(QueryError):
             higgs.path_query(["a"], 0, 5)

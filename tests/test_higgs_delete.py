@@ -80,7 +80,7 @@ class TestDeleteAfterAggregation:
         summary.delete(source, destination, weight, timestamp)
         after = [node.query_edge(src[0], dst[0], src[1], dst[1])
                  for node, src, dst in ancestors]
-        for value_before, value_after in zip(before, after):
+        for value_before, value_after in zip(before, after, strict=True):
             assert value_after == pytest.approx(value_before - weight)
 
     def test_full_range_query_reflects_deletion(self):

@@ -9,6 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import BenchmarkError
 from repro.metrics import (ThroughputResult, Timer, accuracy_report,
                            average_absolute_error, average_latency_micros,
                            average_relative_error, measure_latencies,
@@ -38,9 +39,9 @@ class TestAccuracyMetrics:
         assert report.exact_fraction == 1.0
 
     def test_mismatched_lengths_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BenchmarkError):
             average_absolute_error([1.0], [1.0, 2.0])
-        with pytest.raises(ValueError):
+        with pytest.raises(BenchmarkError):
             accuracy_report([1.0, 2.0], [1.0])
 
     def test_accuracy_report_fields(self):

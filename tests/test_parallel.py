@@ -11,7 +11,7 @@ from repro import Higgs, HiggsConfig
 from repro.core.executor import (InlineShardWorker, ProcessShardWorker,
                                  ThreadShardWorker)
 from repro.core.parallel import PipelinedInserter, insert_stream_parallel
-from repro.errors import ShardingError
+from repro.errors import ConfigurationError, ShardingError
 from repro.streams.edge import StreamEdge
 
 
@@ -21,7 +21,7 @@ def _config() -> HiggsConfig:
 
 class TestPipelinedInserter:
     def test_invalid_mode_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             PipelinedInserter(Higgs(_config()), mode="warp-drive")
 
     def test_threaded_mode_survives_failing_stream_iterable(self):

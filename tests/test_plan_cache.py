@@ -13,6 +13,7 @@ import pytest
 from repro import Higgs, HiggsConfig
 from repro.baselines.dyadic import dyadic_intervals
 from repro.core.boundary import QueryPlanCache, boundary_search
+from repro.errors import ConfigurationError
 
 
 def _loaded_higgs(items: int = 600) -> Higgs:
@@ -68,7 +69,7 @@ class TestQueryPlanCache:
         assert cache.stats()["misses"] == 32
 
     def test_maxsize_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             QueryPlanCache(maxsize=0)
 
     def test_shared_across_edge_and_vertex_queries(self):

@@ -92,9 +92,9 @@ class TestServingEngineBasics:
             assert [future.result(5) for future in futures] == [3] * 5
 
     def test_empty_write_rejected(self):
-        with ServingEngine(ExactTemporalGraph()) as engine:
-            with pytest.raises(ServingError):
-                engine.submit_write([])
+        with ServingEngine(ExactTemporalGraph()) as engine, \
+                pytest.raises(ServingError):
+            engine.submit_write([])
 
     def test_malformed_query_rejected_at_admission(self):
         with ServingEngine(ExactTemporalGraph()) as engine:
@@ -167,7 +167,8 @@ class TestBackpressure:
         finally:
             engine.close()
 
-    def test_block_policy_admits_everything(self):
+    @pytest.mark.lockgraph
+    def test_block_policy_admits_everything(self, lock_monitor):
         config = ServingConfig(max_pending=2, admission="block",
                                poll_interval_s=0.01)
         with ServingEngine(ExactTemporalGraph(), config) as engine:
@@ -179,7 +180,8 @@ class TestBackpressure:
 
 
 class TestServingOverShards:
-    def test_sharded_serving_matches_exact(self, tiny_stream):
+    @pytest.mark.lockgraph
+    def test_sharded_serving_matches_exact(self, tiny_stream, lock_monitor):
         with ShardedSummary(ExactTemporalGraph, shards=3,
                             executor="thread") as sharded:
             with ServingEngine(sharded) as engine:
@@ -196,16 +198,17 @@ class TestServingOverShards:
                                                       t_min, t_max)
             assert sharded.items_ingested == len(tiny_stream)
 
-    def test_flush_goes_idle(self):
-        with ShardedSummary(ExactTemporalGraph, shards=2,
-                            executor="thread") as sharded:
-            with ServingEngine(sharded) as engine:
-                for i in range(100):
-                    engine.submit_write(StreamEdge(f"v{i % 5}", "d", 1.0, i))
-                assert engine.flush(timeout=10)
-                stats = engine.stats()
-                assert stats["pending"] == 0 and stats["inflight"] == 0
-                assert stats["edges_inserted"] == 100
+    @pytest.mark.lockgraph
+    def test_flush_goes_idle(self, lock_monitor):
+        with (ShardedSummary(ExactTemporalGraph, shards=2,
+                             executor="thread") as sharded,
+              ServingEngine(sharded) as engine):
+            for i in range(100):
+                engine.submit_write(StreamEdge(f"v{i % 5}", "d", 1.0, i))
+            assert engine.flush(timeout=10)
+            stats = engine.stats()
+            assert stats["pending"] == 0 and stats["inflight"] == 0
+            assert stats["edges_inserted"] == 100
 
 
 class TestEpochConsistency:
@@ -236,7 +239,8 @@ class TestEpochConsistency:
             batches.append(batch)
         return batches
 
-    def test_interleaved_reads_observe_prefix_states(self):
+    @pytest.mark.lockgraph
+    def test_interleaved_reads_observe_prefix_states(self, lock_monitor):
         batches = self._batches()
         t_max = self.BATCHES * self.BATCH + 1
 
@@ -251,28 +255,28 @@ class TestEpochConsistency:
         violations = []
         stop_reading = threading.Event()
 
-        with ShardedSummary(ExactTemporalGraph, shards=3,
-                            executor="thread") as sharded:
-            with ServingEngine(sharded) as engine:
-                def reader():
-                    while not stop_reading.is_set():
-                        value = engine.submit_query(
-                            EdgeQuery(source, destination, 0, t_max)).result(30)
-                        if value not in prefix_values:
-                            violations.append(value)
+        with (ShardedSummary(ExactTemporalGraph, shards=3,
+                             executor="thread") as sharded,
+              ServingEngine(sharded) as engine):
+            def reader():
+                while not stop_reading.is_set():
+                    value = engine.submit_query(
+                        EdgeQuery(source, destination, 0, t_max)).result(30)
+                    if value not in prefix_values:
+                        violations.append(value)
 
-                readers = [threading.Thread(target=reader, daemon=True)
-                           for _ in range(4)]
-                for thread in readers:
-                    thread.start()
-                write_futures = [engine.submit_write(batch)
-                                 for batch in batches]
-                for future in write_futures:
-                    future.result(30)
-                stop_reading.set()
-                for thread in readers:
-                    thread.join(timeout=30)
-                assert not any(thread.is_alive() for thread in readers)
+            readers = [threading.Thread(target=reader, daemon=True)
+                       for _ in range(4)]
+            for thread in readers:
+                thread.start()
+            write_futures = [engine.submit_write(batch)
+                             for batch in batches]
+            for future in write_futures:
+                future.result(30)
+            stop_reading.set()
+            for thread in readers:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in readers)
 
         assert violations == [], (
             f"torn reads observed values outside every prefix state: "

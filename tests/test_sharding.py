@@ -198,8 +198,9 @@ class TestScatterGather:
 
 
 class TestExecutors:
+    @pytest.mark.lockgraph
     @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
-    def test_executors_agree(self, executor, small_stream):
+    def test_executors_agree(self, executor, small_stream, lock_monitor):
         with ShardedSummary(_factory(), shards=3, executor=executor) as sharded:
             sharded.insert_stream(small_stream)
             assert sharded.items_ingested == len(small_stream)
@@ -324,7 +325,7 @@ class TestValidation:
             sharded.path_query(["a"], 0, 5)
         with pytest.raises(QueryError):
             sharded.subgraph_query([], 0, 5)
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             sharded.vertex_query("a", 0, 5, direction="sideways")
 
     def test_insert_stream_returns_acknowledged_count(self, small_stream):
@@ -339,7 +340,7 @@ class TestShardSkewGenerator:
         assert len(skewed) == len(small_stream)
         assert all(shard_of(edge.source, 4, 0) == 0 for edge in skewed)
         # Everything except sources is untouched.
-        for original, rerouted in zip(small_stream, skewed):
+        for original, rerouted in zip(small_stream, skewed, strict=True):
             assert rerouted.destination == original.destination
             assert rerouted.weight == original.weight
             assert rerouted.timestamp == original.timestamp

@@ -112,7 +112,7 @@ class TestDatasets:
         assert set(DATASETS) == set(DATASET_ORDER)
 
     def test_unknown_dataset_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(DatasetError):
             load_dataset("imaginary")
 
     def test_scaled_loading_preserves_relative_sizes(self):

@@ -1,0 +1,10 @@
+"""Repository tooling: CI checkers and the ``repro-lint`` analysis suite.
+
+This package holds the scripts CI runs against the repository itself:
+
+* ``check_docs.py`` — public-API docstring audit + README snippet execution
+  (kept as a standalone script; loaded by file path from its tests).
+* ``check_perf.py`` — the performance-regression gate (standalone script).
+* :mod:`tools.analyze` — project-specific static analysis (``python -m
+  tools.analyze src/``) and the runtime lock-order detector.
+"""

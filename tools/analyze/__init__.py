@@ -1,0 +1,48 @@
+"""``repro-lint``: project-specific static analysis for the concurrent engine.
+
+The generic lint gate (ruff) catches generic bugs; this package checks the
+*project's own* invariants — the hand-maintained rules the sharding and
+serving layers rest on (lock discipline, drain-before-swap, repro-error-only
+raises, hot-path loop inventory).  Two halves:
+
+* **AST lint rules** (:mod:`tools.analyze.rules`, driven by
+  :mod:`tools.analyze.driver`):
+
+  ========  ==========================================================
+  CONC001   blocking call (``Queue.get/put``, ``collect``, ``join``,
+            ``sleep``, ``Condition.wait``) inside a ``with self._lock:``
+            body
+  CONC002   attribute declared ``# guarded-by: <lock>`` accessed outside
+            a matching ``with`` block (or outside its owner methods for
+            the ``owner=`` confinement form)
+  CONC003   ``threading.Thread`` created without ``daemon=`` or a
+            tracked ``join()``
+  EXC001    swallowed broad ``except`` (no re-raise, no logging, no use
+            of the caught exception)
+  ERR001    raising bare builtin exceptions instead of
+            :mod:`repro.errors` types from ``src/repro/**``
+  HOT001    per-edge Python loop inside a function marked ``# hot-path``
+            (the machine-checked vectorization inventory)
+  ========  ==========================================================
+
+  Findings support inline ``# repro-lint: ok <RULE>`` suppressions and a
+  committed baseline (``tools/analyze/baseline.json``) whose every entry
+  carries a written justification, so only *new* findings fail the build::
+
+      python -m tools.analyze src/
+
+* **Runtime lock-order detector** (:mod:`tools.analyze.lockgraph`): an
+  instrumented ``Lock``/``RLock``/``Condition`` factory recording per-thread
+  acquisition stacks, building the global lock-order graph, and reporting
+  cycles (potential deadlocks) and blocking waits while holding another
+  lock.  The ``lock_monitor`` pytest fixture (``tests/conftest.py``) patches
+  it in for the serving/sharding stress tests.
+"""
+
+from __future__ import annotations
+
+from .driver import REPO_ROOT, analyze_paths, analyze_source, load_baseline, main
+from .rules import Finding, RULES
+
+__all__ = ["Finding", "RULES", "REPO_ROOT", "analyze_paths", "analyze_source",
+           "load_baseline", "main"]

@@ -1,0 +1,10 @@
+"""``python -m tools.analyze [paths...]`` — run the repro-lint suite."""
+
+from __future__ import annotations
+
+import sys
+
+from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Driver for the ``repro-lint`` rules: walking, suppression, baseline, CLI.
+
+The flow per file is parse → run every rule → drop findings covered by an
+inline ``# repro-lint: ok RULE`` suppression.  Across the run, findings that
+match a justified entry in the committed baseline
+(``tools/analyze/baseline.json``) are accepted; everything else fails the
+build.  Baseline entries match on ``(rule, path, symbol)`` — symbol is the
+enclosing function reported by the rule — so they survive unrelated line
+drift but die with the code they describe; every entry must carry a
+non-empty ``justification`` and entries matching nothing are reported as
+stale warnings.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import json
+import re
+import sys
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .rules import RULES, Finding, _Context
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Default committed baseline of accepted findings.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*ok\s+([A-Z]{2,8}\d{3}(?:\s*,\s*[A-Z]{2,8}\d{3})*)")
+
+
+def _scan_comments(source: str) -> Dict[int, str]:
+    """Map line number → comment text, using ``tokenize`` so comments inside
+    string literals are never misread as annotations."""
+    comments: Dict[int, str] = {}
+    # On malformed input the AST parse reports the real syntax problem.
+    with contextlib.suppress(tokenize.TokenError, IndentationError, SyntaxError):
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    return comments
+
+
+def _suppressions(comments: Dict[int, str], lines: Sequence[str]) -> Dict[int, set]:
+    """Lines covered by an inline suppression: the comment's own line, plus
+    the following line when the comment stands alone on its line."""
+    covered: Dict[int, set] = {}
+    for lineno, comment in comments.items():
+        match = _SUPPRESS.search(comment)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        covered.setdefault(lineno, set()).update(rules)
+        if lineno - 1 < len(lines) and lines[lineno - 1].lstrip().startswith("#"):
+            covered.setdefault(lineno + 1, set()).update(rules)
+    return covered
+
+
+def analyze_source(source: str, path: str) -> List[Finding]:
+    """Run every rule over one file's source; apply inline suppressions."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("SYNTAX", path, exc.lineno or 0, "",
+                        f"file does not parse: {exc.msg}")]
+    lines = source.splitlines()
+    comments = _scan_comments(source)
+    ctx = _Context(tree, path, lines, comments)
+    findings: List[Finding] = []
+    for checker, _description in RULES.values():
+        findings.extend(checker(ctx))
+    covered = _suppressions(comments, lines)
+    kept = [f for f in findings if f.rule not in covered.get(f.line, ())]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def _relative(path: Path) -> str:
+    """Repo-root-relative posix path when possible (stable baseline keys)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    """Expand files/directories into the ``.py`` files to analyze."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if not any(part.startswith(".")
+                                         for part in p.parts))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Analyze every Python file under ``paths``; return all findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, _relative(file_path)))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------- #
+
+class BaselineError(Exception):
+    """Raised when the baseline file is malformed or unjustified."""
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Load and validate the baseline: a list of entries, each with ``rule``,
+    ``path``, ``symbol`` and a non-empty ``justification``."""
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return []
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: expected a JSON list of entries")
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: entry {index} is not an object")
+        for key in ("rule", "path", "symbol", "justification"):
+            if key not in entry:
+                raise BaselineError(f"{path}: entry {index} lacks {key!r}")
+        if not str(entry["justification"]).strip():
+            raise BaselineError(
+                f"{path}: entry {index} ({entry['rule']} {entry['path']}) "
+                f"has an empty justification; every baselined finding must "
+                f"say why it is accepted")
+    return entries
+
+
+def apply_baseline(findings: Sequence[Finding], entries: Sequence[dict]
+                   ) -> Tuple[List[Finding], List[dict]]:
+    """Split findings into (new, ...) and report stale baseline entries.
+
+    Returns ``(new_findings, stale_entries)``: findings not matched by any
+    entry, and entries that matched no finding (candidates for deletion).
+    """
+    keys = {(e["rule"], e["path"], e["symbol"]): False for e in entries}
+    new: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol)
+        if key in keys:
+            keys[key] = True
+        else:
+            new.append(finding)
+    stale = [e for e in entries
+             if not keys[(e["rule"], e["path"], e["symbol"])]]
+    return new, stale
+
+
+def emit_baseline(findings: Sequence[Finding]) -> str:
+    """JSON skeleton covering ``findings`` (justifications left to fill in)."""
+    seen = {}
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol)
+        if key not in seen:
+            seen[key] = {"rule": finding.rule, "path": finding.path,
+                         "symbol": finding.symbol,
+                         "justification": ""}
+    return json.dumps(list(seen.values()), indent=2) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m tools.analyze``; returns the exit status.
+
+    0 — clean (every finding suppressed or baselined with justification);
+    1 — new findings; 2 — malformed baseline or arguments.
+    """
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="repro-lint: project-specific static analysis")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file of accepted findings")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report every finding")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON instead of text")
+    parser.add_argument("--emit-baseline", action="store_true",
+                        help="print a baseline skeleton for current findings "
+                             "(justifications must be filled in by hand)")
+    args = parser.parse_args(argv)
+
+    findings = analyze_paths([Path(p) for p in args.paths])
+    if args.emit_baseline:
+        sys.stdout.write(emit_baseline(findings))
+        return 0
+
+    stale: List[dict] = []
+    if not args.no_baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, entries)
+
+    if args.as_json:
+        sys.stdout.write(json.dumps(
+            [finding.__dict__ for finding in findings], indent=2) + "\n")
+    else:
+        for finding in findings:
+            print(finding.render())
+    for entry in stale:
+        print(f"repro-lint: stale baseline entry matches nothing: "
+              f"{entry['rule']} {entry['path']} [{entry['symbol']}] — "
+              f"delete it", file=sys.stderr)
+    if findings:
+        print(f"repro-lint: {len(findings)} new finding(s); fix them, add an "
+              f"inline '# repro-lint: ok <RULE>' with a reason, or baseline "
+              f"them with a justification", file=sys.stderr)
+        return 1
+    return 0

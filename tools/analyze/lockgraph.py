@@ -1,0 +1,377 @@
+"""Runtime lock-order detector: instrumented locks + the global order graph.
+
+Static rules cannot see dynamic lock ordering, so this module provides the
+runtime half of repro-lint: drop-in ``Lock``/``RLock``/``Condition``
+replacements that record, per thread, the stack of locks currently held and
+every *ordering edge* ``A → B`` ("B was acquired while A was held", with the
+acquisition call stack that first produced it).  From those edges the
+:class:`LockGraph` reports:
+
+* **cycles** — two code paths acquiring the same locks in opposite orders,
+  the classic potential deadlock, flagged even when the unlucky interleaving
+  never happened during the run;
+* **waits-while-holding** — a thread parking in ``Condition.wait`` while
+  still holding *another* instrumented lock, which keeps that lock pinned
+  for the whole wait (the runtime shape of rule CONC001).
+
+Locks are identified by **creation site** (module and line), not by
+instance: every per-shard lock born at the same line is one node, which is
+what makes cross-instance ordering cycles visible at all.
+
+Usage (the ``lock_monitor`` fixture in ``tests/conftest.py`` does this for
+the serving/sharding stress tests)::
+
+    graph = LockGraph()
+    uninstall = install(graph)          # patches threading.Lock/RLock/Condition
+    try:
+        ...  # build engines, run the workload
+    finally:
+        uninstall()
+    graph.assert_clean()                # raises with a report on cycles
+
+Only locks created from modules matching the ``modules`` prefixes (default:
+the ``repro`` package) are instrumented; stdlib machinery such as
+``queue.Queue`` keeps the real primitives, so the graph stays signal.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+# Real primitives, captured at import time so instrumented wrappers keep
+# working while threading.* is monkeypatched.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+#: Frames kept in the sample stack stored per ordering edge.
+_STACK_DEPTH = 8
+
+
+def _short_stack() -> List[str]:
+    """A compact acquisition stack: repo frames only, innermost last."""
+    frames = traceback.extract_stack()[:-3]  # drop lockgraph internals
+    return [f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} in {frame.name}"
+            for frame in frames[-_STACK_DEPTH:]]
+
+
+class LockGraph:
+    """The global lock-order graph built from instrumented acquisitions."""
+
+    def __init__(self) -> None:
+        self._mu = _REAL_LOCK()
+        self._tls = threading.local()
+        #: ordering edges: (held site, acquired site) → first sample stack.
+        self.edges: Dict[Tuple[str, str], List[str]] = {}
+        #: blocking waits entered while holding another lock.
+        self.wait_violations: List[Dict[str, object]] = []
+        #: every instrumented site ever acquired.
+        self.sites: set = set()
+
+    # -- per-thread held stack ----------------------------------------- #
+
+    def _held(self) -> List[str]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def note_acquired(self, site: str) -> None:
+        """Record a successful acquisition of ``site`` by this thread."""
+        held = self._held()
+        with self._mu:
+            self.sites.add(site)
+            if site not in held:  # re-entrant holds add no ordering edge
+                for holder in held:
+                    key = (holder, site)
+                    if key not in self.edges:
+                        self.edges[key] = _short_stack()
+        held.append(site)
+
+    def note_released(self, site: str) -> None:
+        """Record a release; pops the most recent hold of ``site``."""
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == site:
+                del held[index]
+                return
+
+    def note_wait(self, site: str) -> None:
+        """Record entry into ``Condition.wait`` on ``site``.
+
+        Waiting releases the condition's own lock, so only the *other* held
+        locks constitute a violation: they stay pinned for the whole wait.
+        """
+        others = [held for held in self._held() if held != site]
+        if others:
+            with self._mu:
+                self.wait_violations.append({
+                    "waiting_on": site,
+                    "holding": list(others),
+                    "stack": _short_stack(),
+                })
+
+    # -- analysis ------------------------------------------------------ #
+
+    def cycles(self) -> List[List[str]]:
+        """Every elementary ordering cycle, as site lists ``[a, b, ..., a]``.
+
+        Two locks acquired in both orders produce the 2-cycle ``[a, b, a]``;
+        longer chains surface as longer cycles.  The graphs involved are
+        tiny (one node per lock creation site), so a DFS per node is plenty.
+        """
+        with self._mu:
+            adjacency: Dict[str, List[str]] = {}
+            for (src, dst) in self.edges:
+                adjacency.setdefault(src, []).append(dst)
+        cycles: List[List[str]] = []
+        seen_keys: set = set()
+
+        def dfs(start: str, node: str, path: List[str], visited: set) -> None:
+            for nxt in adjacency.get(node, ()):
+                if nxt == start:
+                    cycle = path + [start]
+                    key = frozenset(cycle)
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(cycle)
+                elif nxt not in visited and nxt > start:
+                    # only walk nodes ordered after start: each elementary
+                    # cycle is then found exactly once, from its least node
+                    visited.add(nxt)
+                    dfs(start, nxt, path + [nxt], visited)
+                    visited.discard(nxt)
+
+        for start in sorted(adjacency):
+            dfs(start, start, [start], {start})
+        return cycles
+
+    def report(self) -> Dict[str, object]:
+        """Structured summary: sites, edges (with stacks), cycles, waits."""
+        with self._mu:
+            edges = {f"{src} -> {dst}": stack
+                     for (src, dst), stack in self.edges.items()}
+            waits = list(self.wait_violations)
+            sites = sorted(self.sites)
+        return {"sites": sites, "edges": edges, "cycles": self.cycles(),
+                "wait_violations": waits}
+
+    def assert_clean(self, *, allow_waits: bool = False) -> None:
+        """Raise ``AssertionError`` with a readable report on any cycle (and,
+        unless ``allow_waits``, on any blocking wait while holding a lock)."""
+        problems: List[str] = []
+        for cycle in self.cycles():
+            chain = " -> ".join(cycle)
+            problems.append(f"lock-order cycle (potential deadlock): {chain}")
+            with self._mu:
+                for src, dst in zip(cycle, cycle[1:], strict=False):
+                    stack = self.edges.get((src, dst), [])
+                    problems.append(f"  {src} -> {dst} first seen at:")
+                    problems.extend(f"    {frame}" for frame in stack)
+        if not allow_waits:
+            for violation in self.wait_violations:
+                holding = ", ".join(violation["holding"])  # type: ignore[arg-type]
+                problems.append(
+                    f"blocking wait on {violation['waiting_on']} while "
+                    f"holding {holding}")
+                problems.extend(f"    {frame}"
+                                for frame in violation["stack"])  # type: ignore[union-attr]
+        if problems:
+            raise AssertionError("lock-order detector found problems:\n"
+                                 + "\n".join(problems))
+
+
+# --------------------------------------------------------------------- #
+# instrumented primitives
+# --------------------------------------------------------------------- #
+
+class InstrumentedLock:
+    """A ``threading.Lock`` that reports acquisitions to a :class:`LockGraph`."""
+
+    _reentrant = False
+
+    def __init__(self, graph: LockGraph, site: str,
+                 inner: Optional[object] = None) -> None:
+        self._graph = graph
+        self._site = site
+        self._inner = inner if inner is not None else self._make_inner()
+
+    @staticmethod
+    def _make_inner():
+        return _REAL_LOCK()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock; record the ordering edge on success."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._graph.note_acquired(self._site)
+        return acquired
+
+    def release(self) -> None:
+        """Release the underlying lock and pop it from the held stack."""
+        self._inner.release()
+        self._graph.note_released(self._site)
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is currently held by any thread."""
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self._site}>"
+
+
+class InstrumentedRLock(InstrumentedLock):
+    """A ``threading.RLock`` variant; re-entrant holds add no order edges."""
+
+    _reentrant = True
+
+    @staticmethod
+    def _make_inner():
+        return _REAL_RLOCK()
+
+    def locked(self) -> bool:
+        """RLocks expose no portable ``locked``; report best-effort False."""
+        locked = getattr(self._inner, "locked", None)
+        return locked() if callable(locked) else False
+
+
+class InstrumentedCondition:
+    """A ``threading.Condition`` over an instrumented (or implicit) lock.
+
+    ``wait``/``wait_for`` report to the graph: entering a wait releases the
+    condition's own lock (popped from the held stack, re-pushed when the
+    wait returns) and flags a wait-while-holding violation when any *other*
+    instrumented lock stays held across the park.
+    """
+
+    def __init__(self, graph: LockGraph, site: str,
+                 lock: Optional[object] = None) -> None:
+        self._graph = graph
+        if lock is None:
+            lock = InstrumentedRLock(graph, site)
+        if isinstance(lock, InstrumentedLock):
+            self._site = lock._site
+            inner = lock._inner
+        else:  # a raw primitive: wrap without instrumentation details
+            self._site = site
+            inner = lock
+        self._lock = lock
+        self._cond = _REAL_CONDITION(inner)
+
+    def acquire(self, *args, **kwargs) -> bool:
+        """Acquire the condition's lock (instrumented when the lock is)."""
+        return self._lock.acquire(*args, **kwargs)
+
+    def release(self) -> None:
+        """Release the condition's lock."""
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self._lock.__enter__()
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self._lock.__exit__(exc_type, exc_value, tb)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Instrumented ``Condition.wait``: release, park, re-acquire."""
+        self._graph.note_wait(self._site)
+        self._graph.note_released(self._site)
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._graph.note_acquired(self._site)
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: Optional[float] = None) -> bool:
+        """Instrumented ``Condition.wait_for`` (stdlib logic over our wait)."""
+        endtime: Optional[float] = None
+        waittime = timeout
+        result = predicate()
+        while not result:
+            if waittime is not None:
+                if endtime is None:
+                    endtime = time.monotonic() + waittime
+                else:
+                    waittime = endtime - time.monotonic()
+                    if waittime <= 0:
+                        break
+            self.wait(waittime)
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        """Wake up to ``n`` waiters."""
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        """Wake every waiter."""
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<InstrumentedCondition {self._site}>"
+
+
+# --------------------------------------------------------------------- #
+# installation
+# --------------------------------------------------------------------- #
+
+def _creation_site(kind: str, frame) -> str:
+    module = frame.f_globals.get("__name__", "?")
+    return f"{kind}@{module}:{frame.f_lineno}"
+
+
+def install(graph: LockGraph,
+            modules: Tuple[str, ...] = ("repro",)) -> Callable[[], None]:
+    """Patch ``threading.Lock``/``RLock``/``Condition`` with instrumented
+    factories feeding ``graph``; returns an ``uninstall()`` callable.
+
+    Only creations from modules whose dotted name starts with one of the
+    ``modules`` prefixes are instrumented — everything else (stdlib
+    ``queue``, thread bookkeeping, third-party code) gets the real
+    primitive, keeping the graph free of stdlib-internal edges.
+    """
+
+    def _instrument_here(frame) -> bool:
+        name = frame.f_globals.get("__name__", "")
+        return any(name == prefix or name.startswith(prefix + ".")
+                   for prefix in modules)
+
+    def make_lock():
+        frame = sys._getframe(1)
+        if not _instrument_here(frame):
+            return _REAL_LOCK()
+        return InstrumentedLock(graph, _creation_site("Lock", frame))
+
+    def make_rlock():
+        frame = sys._getframe(1)
+        if not _instrument_here(frame):
+            return _REAL_RLOCK()
+        return InstrumentedRLock(graph, _creation_site("RLock", frame))
+
+    def make_condition(lock=None):
+        frame = sys._getframe(1)
+        if not _instrument_here(frame) and not isinstance(lock, InstrumentedLock):
+            return _REAL_CONDITION(lock)
+        return InstrumentedCondition(graph,
+                                     _creation_site("Condition", frame), lock)
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    threading.Condition = make_condition
+
+    def uninstall() -> None:
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        threading.Condition = _REAL_CONDITION
+
+    return uninstall

@@ -99,6 +99,10 @@ def run_readme_snippets(readme: Path = REPO_ROOT / "README.md") -> List[str]:
     src = str(REPO_ROOT / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
+    # Snippets may also demo the in-repo tooling (``tools.analyze``).
+    root = str(REPO_ROOT)
+    if root not in sys.path:
+        sys.path.insert(1, root)
     failures: List[str] = []
     snippets = extract_python_snippets(readme)
     if not snippets:
