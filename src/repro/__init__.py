@@ -19,16 +19,19 @@ The package provides:
 """
 
 from .core import Higgs, HiggsConfig, ServingConfig, ShardingConfig
+from .errors import SnapshotError
 from .summary import TemporalGraphSummary
 from .streams import GraphStream, StreamEdge
-from .sharding import HiggsShardFactory, ShardedSummary
+from .sharding import (HiggsShardFactory, RebalancePlan, ShardedSummary,
+                       SnapshotConfig)
 from .serving import ServingEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Higgs", "HiggsConfig", "ServingConfig", "ShardingConfig",
-    "TemporalGraphSummary", "GraphStream", "StreamEdge", "ShardedSummary",
-    "HiggsShardFactory", "ServingEngine",
+    "SnapshotConfig", "SnapshotError", "TemporalGraphSummary", "GraphStream",
+    "StreamEdge", "ShardedSummary", "HiggsShardFactory", "RebalancePlan",
+    "ServingEngine",
     "__version__",
 ]

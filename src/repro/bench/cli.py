@@ -105,6 +105,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "serve": Experiment(experiments.run_serving,
                         "Concurrent Serving (mixed read/write, "
                         "latency percentiles)", "serving_mixed.txt"),
+    "rebalance": Experiment(experiments.run_rebalance,
+                            "Elastic Rebalancing (hot-shard recovery and "
+                            "kill-a-worker restore)", "rebalance.txt"),
 }
 
 

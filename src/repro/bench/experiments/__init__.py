@@ -7,6 +7,7 @@ from .composite import run_fig12_path_queries, run_fig13_subgraph_queries
 from .irregularity import run_fig14_skewness, run_fig15_variance
 from .update_cost import (run_batch_speedup, run_fig16_17_update_cost,
                           run_fig18_delete_throughput)
+from .rebalance import run_rebalance
 from .serve import run_serving
 from .sharded import run_sharded_scaling
 from .space_cost import run_fig19_space_cost
@@ -20,6 +21,7 @@ __all__ = [
     "run_fig14_skewness", "run_fig15_variance",
     "run_fig16_17_update_cost", "run_fig18_delete_throughput",
     "run_batch_speedup", "run_sharded_scaling", "run_serving",
+    "run_rebalance",
     "run_fig19_space_cost",
     "run_fig20a_parallelization", "run_fig20b_mmb_and_ob",
     "run_fig21_parameters",

@@ -1,7 +1,7 @@
 """HIGGS core: hashing, compressed matrices, the aggregated B-tree, and the
 public :class:`Higgs` summary."""
 
-from .config import HiggsConfig, ServingConfig, ShardingConfig
+from .config import HiggsConfig, ServingConfig, ShardingConfig, SnapshotConfig
 from .executor import (InlineShardWorker, ProcessShardWorker, QueueWorker,
                        ShardResult, ShardWorker, ThreadShardWorker,
                        make_shard_worker, resolve_executor)
@@ -15,7 +15,8 @@ from .higgs import Higgs
 from .parallel import PipelinedInserter, insert_stream_parallel
 
 __all__ = [
-    "HiggsConfig", "ServingConfig", "ShardingConfig", "VertexHasher",
+    "HiggsConfig", "ServingConfig", "ShardingConfig", "SnapshotConfig",
+    "VertexHasher",
     "hash64", "hash_pair",
     "lift_address", "shard_of",
     "CompressedMatrix", "MatrixEntry", "InternalNode", "LeafNode",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import ConfigurationError
 
@@ -176,6 +177,40 @@ class ShardingConfig:
                 f"got {self.executor!r}")
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotConfig:
+    """Snapshot and crash-recovery policy of a sharded summary engine.
+
+    Attributes
+    ----------
+    directory:
+        Default destination directory of :meth:`~repro.sharding.ShardedSummary.
+        snapshot` and the source of restore-on-crash.  ``None`` means every
+        snapshot call must pass an explicit path and automatic crash recovery
+        is limited to rebuilding an *empty* shard.
+    auto_recover:
+        When ``True`` (default), a shard worker found dead during a failed
+        operation is rebuilt immediately — restored from the engine's last
+        snapshot when one exists, empty otherwise — before the failure is
+        re-raised to the caller.  The failed operation itself is never
+        silently retried; only the engine's subsequent operations benefit.
+    verify_checksums:
+        When ``True`` (default), every payload read during restore is
+        verified against the manifest's SHA-256 before being deserialized;
+        disabling this trades torn-snapshot detection for restore speed and
+        is only intended for trusted, locally produced snapshots.
+    """
+
+    directory: Optional[str] = None
+    auto_recover: bool = True
+    verify_checksums: bool = True
+
+    def __post_init__(self) -> None:
+        if self.directory is not None and not str(self.directory).strip():
+            raise ConfigurationError(
+                "snapshot directory must be None or a non-empty path")
 
 
 #: Admission policies accepted by :class:`ServingConfig`.

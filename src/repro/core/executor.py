@@ -30,6 +30,7 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import pickle
 import queue
 import threading
 import time
@@ -48,6 +49,19 @@ BUSY_SECONDS_OP = "__busy_seconds__"
 #: call submitted before it has finished executing — the epoch barrier the
 #: serving engine builds on (see :meth:`ShardWorker.drain`).
 DRAIN_OP = "__drain__"
+
+#: Reserved method name: returns the target serialized to ``pickle`` bytes
+#: instead of invoking a target method.  The elastic-sharding layer builds
+#: snapshots and live shard migration on this op: the payload is produced
+#: inside the worker (child process for process workers), so the caller
+#: never needs direct access to the target object.
+SERIALIZE_OP = "__serialize__"
+
+#: Reserved method name: replaces the worker's target with the object
+#: deserialized from the single ``bytes`` argument.  The inverse of
+#: :data:`SERIALIZE_OP`; restore and migration swap shard state in through
+#: this op, on whatever execution vehicle the worker uses.
+LOAD_OP = "__load__"
 
 #: How often the process-worker collect loop re-checks child liveness, in
 #: seconds.  Small enough that a dead child surfaces promptly; large enough
@@ -181,6 +195,16 @@ class ShardWorker(ABC):
     def close(self) -> None:
         """Shut the worker down and release its resources (idempotent)."""
 
+    def alive(self) -> bool:
+        """Whether the worker's execution vehicle can still serve calls.
+
+        Inline workers are always alive; thread and process workers report
+        the liveness of their thread/child.  A worker that was :meth:`close`\\ d
+        is not alive.  The sharded engine's crash recovery polls this to
+        decide which shards need rebuilding.
+        """
+        return True
+
     def call(self, method: str, *args: Any, **kwargs: Any) -> ShardResult:
         """Synchronous convenience: submit one call and collect its result."""
         self.submit(method, args, kwargs or None)
@@ -218,6 +242,34 @@ class ShardWorker(ABC):
         return result
 
 
+def _apply_reserved(holder: Any, method: str, args: Tuple,
+                    busy: List[float]) -> Optional[ShardResult]:
+    """Execute a reserved op against ``holder.target``; ``None`` otherwise.
+
+    ``holder`` is any object with a mutable ``target`` attribute (the worker
+    itself, or the child process's target holder).  Reserved ops never count
+    toward busy time: the busy counters feed scale-out projections of real
+    shard work, and snapshot/migration traffic would distort them.
+    """
+    if method == BUSY_SECONDS_OP:
+        return ShardResult(True, busy[0])
+    if method == DRAIN_OP:
+        return ShardResult(True, None)
+    if method == SERIALIZE_OP:
+        try:
+            return ShardResult(True, pickle.dumps(holder.target,
+                                                  pickle.HIGHEST_PROTOCOL))
+        except BaseException as exc:  # noqa: BLE001 - reported via ShardResult
+            return ShardResult(False, None, exc)
+    if method == LOAD_OP:
+        try:
+            holder.target = pickle.loads(args[0])
+            return ShardResult(True, None)
+        except BaseException as exc:  # noqa: BLE001 - reported via ShardResult
+            return ShardResult(False, None, exc)
+    return None
+
+
 def _timed_invoke(target: Any, method: str, args: Tuple, kwargs: Optional[dict],
                   busy: List[float]) -> Any:
     """Invoke ``target.<method>`` and add the elapsed time to ``busy[0]``."""
@@ -249,11 +301,9 @@ class InlineShardWorker(ShardWorker):
         return len(self._pending)
 
     def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
-        if method == BUSY_SECONDS_OP:
-            self._pending.append(ShardResult(True, self._busy[0]))
-            return
-        if method == DRAIN_OP:
-            self._pending.append(ShardResult(True, None))
+        reserved = _apply_reserved(self, method, args, self._busy)
+        if reserved is not None:
+            self._pending.append(reserved)
             return
         try:
             value = _timed_invoke(self.target, method, args, kwargs, self._busy)
@@ -303,11 +353,9 @@ class ThreadShardWorker(ShardWorker):
             if task is None:
                 return
             method, args, kwargs = task
-            if method == BUSY_SECONDS_OP:
-                self._results.put(ShardResult(True, self._busy[0]))
-                continue
-            if method == DRAIN_OP:
-                self._results.put(ShardResult(True, None))
+            reserved = _apply_reserved(self, method, args, self._busy)
+            if reserved is not None:
+                self._results.put(reserved)
                 continue
             try:
                 value = _timed_invoke(self.target, method, args, kwargs, self._busy)
@@ -343,11 +391,28 @@ class ThreadShardWorker(ShardWorker):
                 continue
             return result
 
+    def alive(self) -> bool:
+        """Whether the worker thread is still serving tasks."""
+        return not self._closed and self._thread.is_alive()
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self._tasks.put(None)
             self._thread.join()
+
+
+class _TargetHolder:
+    """Mutable cell holding a worker process's target object.
+
+    Exists so :data:`LOAD_OP` can swap the target in place via
+    :func:`_apply_reserved`, which writes through a ``target`` attribute.
+    """
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Any) -> None:
+        self.target = target
 
 
 def _process_worker_main(factory: Callable[[], Any], conn) -> None:
@@ -359,7 +424,7 @@ def _process_worker_main(factory: Callable[[], Any], conn) -> None:
     exception objects may not pickle.
     """
     try:
-        target = factory()
+        holder = _TargetHolder(factory())
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         conn.send(("fatal", (type(exc).__name__, str(exc))))
         conn.close()
@@ -374,14 +439,16 @@ def _process_worker_main(factory: Callable[[], Any], conn) -> None:
         if request is None:
             break
         method, args, kwargs = request
-        if method == BUSY_SECONDS_OP:
-            conn.send(("ok", busy[0]))
-            continue
-        if method == DRAIN_OP:
-            conn.send(("ok", None))
+        reserved = _apply_reserved(holder, method, args, busy)
+        if reserved is not None:
+            if reserved.ok:
+                conn.send(("ok", reserved.value))
+            else:
+                error = reserved.error
+                conn.send(("err", (type(error).__name__, str(error))))
             continue
         try:
-            value = _timed_invoke(target, method, args, kwargs, busy)
+            value = _timed_invoke(holder.target, method, args, kwargs, busy)
             conn.send(("ok", value))
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             conn.send(("err", (type(exc).__name__, str(exc))))
@@ -498,6 +565,10 @@ class ProcessShardWorker(ShardWorker):
                            ShardingError(f"shard worker call failed on "
                                          f"{self.name!r}: "
                                          f"{type_name}: {message}"))
+
+    def alive(self) -> bool:
+        """Whether the child process is still serving calls."""
+        return not self._closed and self._process.is_alive()
 
     def _death_result(self) -> ShardResult:
         """Failed :class:`ShardResult` for a dead child, naming the shard."""

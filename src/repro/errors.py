@@ -41,6 +41,18 @@ class ShardingError(ReproError):
     """
 
 
+class SnapshotError(ShardingError):
+    """Raised when a shard snapshot cannot be written, read, or trusted.
+
+    Covers torn or corrupt manifests (truncated JSON, checksum mismatch),
+    missing or tampered per-shard payload files (the message names the
+    offending shard), and snapshots taken without a configured destination.
+    Subclasses :class:`ShardingError` so existing engine-level handlers keep
+    working, while callers that care can distinguish persistence failures
+    from live scatter-gather failures.
+    """
+
+
 class ServingError(ReproError):
     """Raised when the concurrent serving engine cannot serve a request.
 

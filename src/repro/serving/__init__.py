@@ -22,10 +22,11 @@ generator that drives the ``serve`` benchmark lives in
 from ..core.config import SERVING_ADMISSION_POLICIES, ServingConfig
 from .engine import ServingEngine
 from .metrics import LatencyTracker, nearest_rank
-from .requests import READ, WRITE, ReadRequest, ServingFuture, WriteRequest
+from .requests import (MAINTENANCE, READ, WRITE, MaintenanceRequest,
+                       ReadRequest, ServingFuture, WriteRequest)
 
 __all__ = [
     "ServingEngine", "ServingConfig", "SERVING_ADMISSION_POLICIES",
-    "ServingFuture", "ReadRequest", "WriteRequest", "READ", "WRITE",
-    "LatencyTracker", "nearest_rank",
+    "ServingFuture", "ReadRequest", "WriteRequest", "MaintenanceRequest",
+    "READ", "WRITE", "MAINTENANCE", "LatencyTracker", "nearest_rank",
 ]

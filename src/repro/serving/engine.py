@@ -45,9 +45,10 @@ from ..errors import ServingError
 from ..streams.edge import StreamEdge
 from ..summary import TemporalGraphSummary
 from .metrics import LatencyTracker
-from .requests import ReadRequest, ServingFuture, WriteRequest
+from .requests import (MaintenanceRequest, ReadRequest, ServingFuture,
+                       WriteRequest)
 
-_Request = Union[WriteRequest, ReadRequest]
+_Request = Union[WriteRequest, ReadRequest, MaintenanceRequest]
 
 
 class ServingEngine:
@@ -147,6 +148,32 @@ class ServingEngine:
         if t_start is not None and t_end is not None:
             self._summary.check_range(t_start, t_end)
         request = ReadRequest(query)
+        self._admit(request)
+        return request.future
+
+    def run_maintenance(self, fn: Any) -> ServingFuture:
+        """Admit a maintenance operation to run between epochs.
+
+        ``fn(summary)`` executes on the scheduler thread as a round of its
+        own: every earlier admitted request has been served (its epoch
+        committed, its reads answered) and no later request starts until
+        ``fn`` returns.  That exclusivity is what makes in-place summary
+        surgery — :meth:`~repro.sharding.ShardedSummary.snapshot`,
+        :meth:`~repro.sharding.ShardedSummary.migrate_shard`,
+        :meth:`~repro.sharding.ShardedSummary.rebalance` — safe under
+        concurrent traffic: clients never observe a torn mid-migration
+        state, only the summary before or after the operation.
+
+        Returns a future resolving to ``fn``'s return value; an exception
+        raised by ``fn`` fails the future and the engine keeps serving.
+
+        Raises
+        ------
+        ServingError
+            When the engine is closed, or immediately under the ``"drop"``
+            policy when the admission queue is full.
+        """
+        request = MaintenanceRequest(fn)
         self._admit(request)
         return request.future
 
@@ -296,6 +323,13 @@ class ServingEngine:
             reads = 0
             while self._pending:
                 request = self._pending[0]
+                if isinstance(request, MaintenanceRequest):
+                    # Maintenance runs as its own round: close the current
+                    # round before it, and never coalesce anything after it.
+                    if picked:
+                        break
+                    picked.append(self._pending.popleft())
+                    break
                 if isinstance(request, WriteRequest):
                     if picked and write_edges + len(request.edges) > \
                             self.config.max_batch_writes:
@@ -318,6 +352,10 @@ class ServingEngine:
         serving it would be exactly the torn read the engine promises never
         to produce.
         """
+        if len(round_requests) == 1 and \
+                isinstance(round_requests[0], MaintenanceRequest):
+            self._run_maintenance_round(round_requests[0])
+            return
         writes = [r for r in round_requests if isinstance(r, WriteRequest)]
         reads = [r for r in round_requests if isinstance(r, ReadRequest)]
         epoch_error = self._commit_epoch(writes) if writes else None
@@ -329,6 +367,21 @@ class ServingEngine:
                 f"({epoch_error})"))
             return
         self._answer_reads(reads)
+
+    def _run_maintenance_round(self, request: MaintenanceRequest) -> None:
+        """Execute one maintenance callable with the engine to itself.
+
+        Runs on the scheduler thread between epochs — the previous round's
+        barrier has passed and no other request is in flight — so the
+        callable has exclusive use of the summary.  Its exception (if any)
+        fails only its own future; the engine keeps serving.
+        """
+        try:
+            value = request.fn(self._summary)
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            self._finish([request], error=exc)
+            return
+        self._finish([request], values=[value])
 
     def _commit_epoch(self, writes: List[WriteRequest]) -> Optional[BaseException]:
         """Apply the round's writes as one batch; return the failure, if any.

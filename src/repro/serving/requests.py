@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..errors import ServingError
 from ..streams.edge import StreamEdge
@@ -21,6 +21,7 @@ from ..streams.edge import StreamEdge
 #: Request kinds tracked separately by the latency report.
 WRITE = "write"
 READ = "read"
+MAINTENANCE = "maintenance"
 
 
 class ServingFuture:
@@ -105,3 +106,20 @@ class ReadRequest:
 
     query: Any
     future: ServingFuture = field(default_factory=lambda: ServingFuture(READ))
+
+
+@dataclass(slots=True)
+class MaintenanceRequest:
+    """One admitted maintenance operation: a callable and its future.
+
+    The scheduler runs ``fn(summary)`` on the scheduler thread as its *own*
+    round — after the previous round's epoch barrier, before the next
+    round's writes — so the callable observes (and may replace parts of)
+    the summary with no request in flight.  This is how snapshots and live
+    shard migrations run under concurrent serving traffic (see
+    :meth:`~repro.serving.ServingEngine.run_maintenance`).
+    """
+
+    fn: Callable[[Any], Any]
+    future: ServingFuture = field(
+        default_factory=lambda: ServingFuture(MAINTENANCE))

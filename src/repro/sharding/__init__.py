@@ -11,17 +11,26 @@ across ``N`` hash-partitioned shards:
   processes), and answers edge / vertex / path / subgraph queries by
   scatter-gather with an exact sum-merge,
 * :class:`HiggsShardFactory` is the picklable default factory building one
-  HIGGS summary per shard.
+  HIGGS summary per shard,
+* elasticity: :meth:`ShardedSummary.snapshot` /
+  :meth:`ShardedSummary.restore` persist and rebuild the whole engine
+  through the checksummed on-disk format in :mod:`repro.sharding.snapshot`,
+  :class:`RebalancePlan` + :meth:`ShardedSummary.rebalance` move hot keys
+  and live shards, and :meth:`ShardedSummary.recover_dead_shards` rebuilds
+  crashed workers from the last snapshot with a bounded loss.
 
 The worker machinery (inline / thread / process execution with a uniform
 submit-collect protocol) lives in :mod:`repro.core.executor` and is shared
 with the pipelined inserter.
 """
 
-from .engine import HiggsShardFactory, PendingBatch, ShardedSummary
+from ..core.config import SnapshotConfig
+from ..errors import SnapshotError
+from .engine import (HiggsShardFactory, PendingBatch, RebalancePlan,
+                     ShardedSummary)
 from .partition import PARTITION_MODES, ShardPartitioner
 
 __all__ = [
-    "HiggsShardFactory", "PendingBatch", "ShardedSummary", "ShardPartitioner",
-    "PARTITION_MODES",
+    "HiggsShardFactory", "PendingBatch", "RebalancePlan", "ShardedSummary",
+    "ShardPartitioner", "PARTITION_MODES", "SnapshotConfig", "SnapshotError",
 ]

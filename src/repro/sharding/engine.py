@@ -21,19 +21,34 @@ With ``num_shards == 1`` the engine is a pass-through wrapper: every item
 and every query reaches the single inner summary in the original order, so
 results are bit-identical to using the inner summary directly (tests enforce
 this).
+
+**Elasticity.**  The engine is not welded to its initial worker layout:
+:meth:`ShardedSummary.snapshot` persists every shard plus a checksummed
+manifest to disk and :meth:`ShardedSummary.restore` rebuilds a bit-identical
+engine from it; :meth:`ShardedSummary.migrate_shard` and
+:meth:`ShardedSummary.rebalance` move live shard state across workers (and
+hot keys across shards) behind the same quiesce/drain barrier the serving
+layer uses; and a dead process worker is rebuilt from the last snapshot by
+:meth:`ShardedSummary.recover_dead_shards`, losing at most the edges that
+shard acknowledged *after* the snapshot (see ARCHITECTURE.md, "Elastic
+sharding & recovery").
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.config import HiggsConfig, ShardingConfig
-from ..core.executor import ShardResult, ShardWorker, make_shard_worker, resolve_executor
+from ..core.config import (SHARD_EXECUTORS, HiggsConfig, ShardingConfig,
+                           SnapshotConfig)
+from ..core.executor import (LOAD_OP, SERIALIZE_OP, ShardResult, ShardWorker,
+                             make_shard_worker, resolve_executor)
 from ..core.higgs import Higgs
-from ..errors import QueryError, ShardingError
+from ..errors import QueryError, ShardingError, SnapshotError
 from ..streams.edge import GraphStream, StreamEdge, Vertex
 from ..summary import TemporalGraphSummary
+from . import snapshot as snapshot_format
 from .partition import ShardPartitioner
 
 
@@ -58,6 +73,31 @@ class HiggsShardFactory:
     def __call__(self) -> Higgs:
         """Build one fresh :class:`~repro.core.higgs.Higgs` summary."""
         return Higgs(self.config)
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """Declarative description of one rebalancing step.
+
+    Attributes
+    ----------
+    reassign:
+        Vertex → target-shard overrides installed in the partitioner so the
+        vertices' *future* edges land on the target shard (``"source"``
+        partitioning only; already-inserted edges stay put and reads union
+        the owner history — see
+        :meth:`~repro.sharding.partition.ShardPartitioner.reassign`).
+    migrate:
+        Shard index → executor mode: each named shard's live summary is
+        serialized and moved onto a fresh worker of that mode (e.g. promote
+        a hot shard from ``"thread"`` to ``"process"``).
+
+    Both mappings may be empty; :meth:`ShardedSummary.rebalance` validates
+    every entry before touching any state.
+    """
+
+    reassign: Mapping[Vertex, int] = field(default_factory=dict)
+    migrate: Mapping[int, str] = field(default_factory=dict)
 
 
 class PendingBatch:
@@ -126,6 +166,11 @@ class ShardedSummary(TemporalGraphSummary):
         :class:`~repro.core.config.ShardingConfig`.
     batch_size:
         Per-shard batch size used by :meth:`insert_stream`.
+    snapshot:
+        Snapshot / crash-recovery policy
+        (:class:`~repro.core.config.SnapshotConfig`); ``None`` uses the
+        defaults (no configured directory, auto-recovery of dead workers
+        enabled, checksums verified on restore).
 
     Raises
     ------
@@ -155,7 +200,8 @@ class ShardedSummary(TemporalGraphSummary):
                  config: Optional[ShardingConfig] = None,
                  partition_by: Optional[str] = None,
                  executor: Optional[str] = None,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 snapshot: Optional[SnapshotConfig] = None) -> None:
         base = config or ShardingConfig()
         self.config = ShardingConfig(
             num_shards=shards if shards is not None else base.num_shards,
@@ -179,6 +225,13 @@ class ShardedSummary(TemporalGraphSummary):
         self._shard_items = [0] * self.config.num_shards
         self._pending_async: Optional["PendingBatch"] = None
         self._closed = False
+        self._snapshot_config = snapshot if snapshot is not None else SnapshotConfig()
+        #: Per-shard acknowledged counts as of the last snapshot (None until
+        #: one is taken); recovery's loss bound is measured against these.
+        self._snapshot_items: Optional[List[int]] = None
+        #: Directory of the last snapshot taken or loaded by this engine;
+        #: crash recovery restores dead shards from here.
+        self._last_snapshot_path: Optional[str] = None
         self.name = f"Sharded[{self.config.num_shards}]"
 
     # ------------------------------------------------------------------ #
@@ -228,20 +281,47 @@ class ShardedSummary(TemporalGraphSummary):
         self._assert_no_pending_async()
         return self._workers[shard].call(method, *args)
 
-    @staticmethod
-    def _reraise(result: ShardResult):
-        """Re-raise a single-shard failure transparently."""
+    def _reraise(self, result: ShardResult):
+        """Re-raise a single-shard failure transparently.
+
+        If the failure was a worker death and auto-recovery is enabled, the
+        dead shard is rebuilt first (the failed call is *not* retried).
+        """
+        self._maybe_auto_recover()
         raise result.error
 
     def _raise_scatter_failure(self, operation: str,
                                results: Dict[int, ShardResult]) -> None:
-        """Raise :class:`ShardingError` if any scattered call failed."""
+        """Raise :class:`ShardingError` if any scattered call failed.
+
+        If any worker died and auto-recovery is enabled, dead shards are
+        rebuilt before the error propagates (never retried silently).
+        """
         failed = [shard for shard, result in results.items() if not result.ok]
         if not failed:
             return
+        self._maybe_auto_recover()
         first = results[failed[0]].error
         raise ShardingError(
             f"{operation} failed on shard(s) {failed}: {first}") from first
+
+    def _maybe_auto_recover(self) -> None:
+        """Rebuild dead shard workers on the failure path, best-effort.
+
+        Runs only when :class:`~repro.core.config.SnapshotConfig.auto_recover`
+        is set and at least one worker is actually dead.  Recovery failures
+        must not mask the original operation's error — the caller is about
+        to raise it — so they are swallowed here; the next explicit
+        :meth:`recover_dead_shards` call will surface them.
+        """
+        if self._closed or not self._snapshot_config.auto_recover:
+            return
+        if all(worker.alive() for worker in self._workers):
+            return
+        # Best-effort: the caller raises the original error right after.
+        # repro-lint: ok EXC001 - recovery must not mask the original failure
+        with contextlib.suppress(Exception):
+            self.recover_dead_shards()
 
     # ------------------------------------------------------------------ #
     # updates
@@ -366,37 +446,55 @@ class ShardedSummary(TemporalGraphSummary):
         """Estimated aggregated weight of ``source → destination`` in range.
 
         Routes to the single shard owning the edge (every copy of an edge
-        lands on one shard, so no merge is needed).  Raises
-        :class:`~repro.errors.QueryError` on a malformed range.
+        lands on one shard, so no merge is needed).  After a rebalancing
+        reassignment of the source vertex, the edge's occurrences may be
+        split across its owner history; the query then scatters to every
+        historical owner and sums the (disjoint) per-shard estimates, which
+        is exact.  Raises :class:`~repro.errors.QueryError` on a malformed
+        range.
         """
         self.check_range(t_start, t_end)
-        shard = self._partitioner.shard_of_edge(source, destination)
-        result = self._call_shard(shard, "edge_query", source, destination,
-                                  t_start, t_end)
-        if not result.ok:
-            self._reraise(result)
-        return result.value
+        owners = self._partitioner.owners_of_edge(source, destination)
+        if len(owners) == 1:
+            result = self._call_shard(owners[0], "edge_query", source,
+                                      destination, t_start, t_end)
+            if not result.ok:
+                self._reraise(result)
+            return result.value
+        calls = {shard: ("edge_query", (source, destination, t_start, t_end))
+                 for shard in owners}
+        results = self._scatter(calls)
+        self._raise_scatter_failure("edge_query", results)
+        return sum(results[shard].value for shard in sorted(results))
 
     def vertex_query(self, vertex: Vertex, t_start: int, t_end: int,
                      direction: str = "out") -> float:
         """Estimated aggregated weight of a vertex's incident edges in range.
 
         Under source partitioning, outgoing queries route to the vertex's
-        shard; incoming queries (and all queries under edge partitioning)
-        scatter to every shard and the per-shard estimates are summed.
-        Raises :class:`~repro.errors.QueryError` on a malformed range or an
-        unknown ``direction``.
+        shard — or, for a vertex moved by rebalancing, scatter to its owner
+        history and sum (each edge occurrence lives in exactly one owner,
+        so the sum is exact).  Incoming queries (and all queries under edge
+        partitioning) scatter to every shard and the per-shard estimates
+        are summed.  Raises :class:`~repro.errors.QueryError` on a
+        malformed range or an unknown ``direction``.
         """
         self.check_range(t_start, t_end)
         if direction not in ("out", "in"):
             raise QueryError("direction must be 'out' or 'in'")
         if self._vertex_routes_to_one_shard(direction):
-            shard = self._partitioner.shard_of_vertex(vertex)
-            result = self._call_shard(shard, "vertex_query", vertex,
-                                      t_start, t_end, direction)
-            if not result.ok:
-                self._reraise(result)
-            return result.value
+            owners = self._partitioner.owners_of_vertex(vertex)
+            if len(owners) == 1:
+                result = self._call_shard(owners[0], "vertex_query", vertex,
+                                          t_start, t_end, direction)
+                if not result.ok:
+                    self._reraise(result)
+                return result.value
+            calls = {shard: ("vertex_query", (vertex, t_start, t_end, direction))
+                     for shard in owners}
+            results = self._scatter(calls)
+            self._raise_scatter_failure("vertex_query", results)
+            return sum(results[shard].value for shard in sorted(results))
         calls = {shard: ("vertex_query", (vertex, t_start, t_end, direction))
                  for shard in range(self.num_shards)}
         results = self._scatter(calls)
@@ -454,16 +552,20 @@ class ShardedSummary(TemporalGraphSummary):
             # module free of an import cycle with repro.queries.types.
             if hasattr(query, "destination"):  # edge query
                 self.check_range(query.t_start, query.t_end)
-                shard = self._partitioner.shard_of_edge(query.source,
-                                                        query.destination)
-                per_shard.setdefault(shard, []).append((index, query))
+                # A reassigned source splits the edge's occurrences across
+                # its owner history; querying every owner and accumulating
+                # into results[index] re-unifies the estimate exactly.
+                for shard in self._partitioner.owners_of_edge(
+                        query.source, query.destination):
+                    per_shard.setdefault(shard, []).append((index, query))
             elif hasattr(query, "vertex"):  # vertex query
                 self.check_range(query.t_start, query.t_end)
                 if query.direction not in ("out", "in"):
                     raise QueryError("direction must be 'out' or 'in'")
                 if self._vertex_routes_to_one_shard(query.direction):
-                    shard = self._partitioner.shard_of_vertex(query.vertex)
-                    per_shard.setdefault(shard, []).append((index, query))
+                    for shard in self._partitioner.owners_of_vertex(
+                            query.vertex):
+                        per_shard.setdefault(shard, []).append((index, query))
                 else:
                     for shard in range(self.num_shards):
                         per_shard.setdefault(shard, []).append((index, query))
@@ -540,6 +642,346 @@ class ShardedSummary(TemporalGraphSummary):
             "shard_items": list(self._shard_items),
             "memory_bytes": self.memory_bytes(),
         }
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot_items(self) -> Optional[Tuple[int, ...]]:
+        """Per-shard acknowledged counts as of the last snapshot.
+
+        ``None`` until a snapshot has been taken or loaded.  The difference
+        between :meth:`shard_items` and these counts is each shard's
+        exposure to loss on crash — exactly the edges acknowledged since
+        the snapshot (see :meth:`recover_dead_shards`).
+        """
+        return None if self._snapshot_items is None else tuple(self._snapshot_items)
+
+    def snapshot(self, path: Optional[str] = None) -> str:
+        """Persist every shard plus a checksummed manifest to ``path``.
+
+        Quiesces all workers (so the snapshot sits on an epoch boundary),
+        serializes each shard's summary *inside its worker* via the reserved
+        serialize op, and writes the payloads, the partitioner state, the
+        (picklable) factory, and — last, atomically — the manifest.  See
+        :mod:`repro.sharding.snapshot` for the on-disk format.  Returns the
+        snapshot directory, which also becomes the source for subsequent
+        crash recovery.
+
+        Raises
+        ------
+        SnapshotError
+            When no destination is available (``path`` is ``None`` and the
+            engine's :class:`~repro.core.config.SnapshotConfig` has no
+            ``directory``), or when writing fails.
+        ShardingError
+            When an async batch is unresolved or a shard cannot be
+            quiesced/serialized.
+        """
+        self._assert_no_pending_async()
+        if path is None:
+            path = self._snapshot_config.directory
+        if path is None:
+            raise SnapshotError(
+                "no snapshot destination: pass snapshot(path) or configure "
+                "SnapshotConfig.directory")
+        path = str(path)
+        self.quiesce()
+        calls: Dict[int, Tuple[str, Tuple]] = {
+            shard: (SERIALIZE_OP, ()) for shard in range(self.num_shards)}
+        results = self._scatter(calls)
+        self._raise_scatter_failure("snapshot", results)
+        snapshot_format.write_snapshot(
+            path, config=self.config,
+            partitioner_state=self._partitioner.export_state(),
+            payloads=[results[shard].value for shard in range(self.num_shards)],
+            shard_items=list(self._shard_items),
+            factory=self.factory)
+        self._snapshot_items = list(self._shard_items)
+        self._last_snapshot_path = path
+        return path
+
+    @classmethod
+    def restore(cls, path: str, *,
+                factory: Optional[Callable[[], TemporalGraphSummary]] = None,
+                executor: Optional[str] = None,
+                snapshot: Optional[SnapshotConfig] = None) -> "ShardedSummary":
+        """Reconstruct a bit-identical engine from a snapshot directory.
+
+        Reads and verifies the manifest, rebuilds the engine with the
+        snapshot's configuration (``executor`` may be overridden — state is
+        executor-agnostic), restores the partitioner's reassignment state,
+        and loads every shard's pickled summary into its worker.  Every
+        query the restored engine answers is bit-identical to the original
+        at snapshot time (property-tested), and further inserts behave
+        exactly as they would have on the original.
+
+        Parameters
+        ----------
+        path:
+            Snapshot directory written by :meth:`snapshot`.
+        factory:
+            Shard factory override; required when the snapshot does not
+            embed one (the writer's factory was unpicklable).
+        executor:
+            Executor-mode override; defaults to the snapshot's mode.
+        snapshot:
+            Snapshot / recovery policy of the restored engine; its
+            ``verify_checksums`` also governs this restore.
+
+        Raises
+        ------
+        SnapshotError
+            On a missing, torn, or corrupt snapshot (the message names the
+            offending file or shard), or when no factory is available.
+        """
+        policy = snapshot if snapshot is not None else SnapshotConfig()
+        body = snapshot_format.read_manifest(
+            path, verify=policy.verify_checksums)
+        if factory is None:
+            factory = snapshot_format.read_factory(
+                path, body, verify=policy.verify_checksums)
+        if factory is None:
+            raise SnapshotError(
+                f"snapshot at {path!r} does not embed its shard factory "
+                f"(it was not picklable when written); pass factory=")
+        config = ShardingConfig(
+            num_shards=int(body["num_shards"]),
+            partition_by=str(body["partition_by"]),
+            executor=str(executor if executor is not None else body["executor"]),
+            batch_size=int(body["batch_size"]),
+            hash_seed=int(body["hash_seed"]))
+        engine = cls(factory, config=config, snapshot=policy)
+        try:
+            engine._load_snapshot_payloads(str(path), body)
+        except BaseException:
+            engine.close()
+            raise
+        return engine
+
+    def load_snapshot(self, path: str) -> None:
+        """Replace this engine's state with a snapshot's, in place.
+
+        Unlike :meth:`restore` this keeps the existing workers (and their
+        executor mode) and therefore demands **configuration
+        compatibility**: the snapshot's shard count, partition mode, and
+        hash seed must match this engine's, otherwise every key would
+        silently route to the wrong shard.  Incompatibility raises
+        :class:`~repro.errors.ShardingError` — e.g. loading a 4-shard
+        snapshot into an 8-shard engine (or vice versa) refuses instead of
+        mis-partitioning.
+
+        Raises
+        ------
+        ShardingError
+            On configuration mismatch, an unresolved async batch, or a
+            shard that fails to load.
+        SnapshotError
+            On a missing, torn, or corrupt snapshot.
+        """
+        self._assert_no_pending_async()
+        path = str(path)
+        body = snapshot_format.read_manifest(
+            path, verify=self._snapshot_config.verify_checksums)
+        mismatches = []
+        if int(body["num_shards"]) != self.num_shards:
+            mismatches.append(
+                f"num_shards {body['num_shards']} != {self.num_shards}")
+        if str(body["partition_by"]) != self.config.partition_by:
+            mismatches.append(
+                f"partition_by {body['partition_by']!r} != "
+                f"{self.config.partition_by!r}")
+        if int(body["hash_seed"]) != self.config.hash_seed:
+            mismatches.append(
+                f"hash_seed {body['hash_seed']} != {self.config.hash_seed}")
+        if mismatches:
+            raise ShardingError(
+                f"snapshot at {path!r} is incompatible with this engine: "
+                + "; ".join(mismatches))
+        self.quiesce()
+        self._load_snapshot_payloads(path, body)
+
+    def _load_snapshot_payloads(self, path: str, body: Dict[str, Any]) -> None:
+        """Load partitioner state and every shard payload from a snapshot."""
+        verify = self._snapshot_config.verify_checksums
+        state = snapshot_format.read_partitioner_state(path, body, verify=verify)
+        calls: Dict[int, Tuple[str, Tuple]] = {
+            shard: (LOAD_OP,
+                    (snapshot_format.read_shard_payload(path, body, shard,
+                                                        verify=verify),))
+            for shard in range(self.num_shards)}
+        results = self._scatter(calls)
+        self._raise_scatter_failure("restore", results)
+        # State is swapped only after every shard loaded successfully, so a
+        # failed restore leaves routing consistent with the untouched shards.
+        self._partitioner = ShardPartitioner.from_state(state)
+        self._shard_items = [int(entry["items"]) for entry in body["shards"]]
+        self._snapshot_items = list(self._shard_items)
+        self._last_snapshot_path = path
+
+    # ------------------------------------------------------------------ #
+    # live migration, rebalancing, crash recovery
+    # ------------------------------------------------------------------ #
+
+    def migrate_shard(self, shard: int, worker: Optional[ShardWorker] = None,
+                      *, executor: Optional[str] = None) -> None:
+        """Move one shard's live summary onto a new worker, atomically.
+
+        Serializes the shard inside its current worker, loads the payload
+        into the replacement (a caller-provided ``worker``, or a fresh one
+        of ``executor`` mode — default: this engine's mode), and only then
+        swaps it into the routing table and closes the old worker.  A
+        failed load closes the *replacement* and keeps the old worker
+        serving, so concurrent readers never observe torn state; under a
+        live :class:`~repro.serving.ServingEngine` the swap runs between
+        epochs via :meth:`~repro.serving.ServingEngine.run_maintenance`.
+
+        Raises
+        ------
+        ShardingError
+            On an out-of-range shard, both ``worker`` and ``executor``
+            given, an unknown executor mode, or a serialize/load failure.
+        """
+        self._assert_no_pending_async()
+        if not 0 <= shard < self.num_shards:
+            raise ShardingError(
+                f"migrate_shard index {shard} out of range "
+                f"[0, {self.num_shards})")
+        if worker is not None and executor is not None:
+            raise ShardingError(
+                "pass either a replacement worker or an executor mode, "
+                "not both")
+        old = self._workers[shard]
+        blob = old.call(SERIALIZE_OP)
+        if not blob.ok:
+            raise ShardingError(
+                f"migration of shard {shard} failed to serialize: "
+                f"{blob.error}") from blob.error
+        if worker is None:
+            mode = resolve_executor(
+                executor if executor is not None else self.executor_mode)
+            if mode not in SHARD_EXECUTORS:
+                raise ShardingError(
+                    f"unknown shard executor mode {mode!r}")
+            worker = make_shard_worker(mode, self.factory,
+                                       name=f"shard-{shard}")
+        loaded = worker.call(LOAD_OP, blob.value)
+        if not loaded.ok:
+            # The replacement is the broken side: discard it and keep the
+            # old worker serving — migration either completes or is a no-op.
+            # repro-lint: ok EXC001 - cleanup; the load failure raises below
+            with contextlib.suppress(Exception):
+                worker.close()
+            raise ShardingError(
+                f"migration of shard {shard} failed to load into the new "
+                f"worker: {loaded.error}") from loaded.error
+        self._workers[shard] = worker
+        # The old worker's state was fully copied; a close failure must
+        # not undo a completed migration.
+        # repro-lint: ok EXC001 - best-effort close of the replaced worker
+        with contextlib.suppress(Exception):
+            old.close()
+
+    def rebalance(self, plan: RebalancePlan) -> None:
+        """Apply a :class:`RebalancePlan`: reassign hot keys, migrate shards.
+
+        Validates the whole plan first (so a bad entry changes nothing),
+        quiesces the engine onto an epoch boundary, installs every key
+        reassignment in the partitioner, then migrates each named shard.
+        Reassigned vertices' future edges land on their new shard while
+        reads transparently union the owner history — see
+        :meth:`~repro.sharding.partition.ShardPartitioner.reassign`.
+
+        Raises
+        ------
+        ShardingError
+            On an invalid plan entry (out-of-range shard or target, unknown
+            executor mode, reassignment under ``"edge"`` partitioning) or a
+            failed migration.
+        """
+        self._assert_no_pending_async()
+        if plan.reassign and self.config.partition_by != "source":
+            raise ShardingError(
+                "rebalance with key reassignments requires "
+                "partition_by='source'")
+        for vertex, target in plan.reassign.items():
+            if not 0 <= int(target) < self.num_shards:
+                raise ShardingError(
+                    f"rebalance target shard {target} for vertex {vertex!r} "
+                    f"out of range [0, {self.num_shards})")
+        for shard, mode in plan.migrate.items():
+            if not 0 <= int(shard) < self.num_shards:
+                raise ShardingError(
+                    f"rebalance migration shard {shard} out of range "
+                    f"[0, {self.num_shards})")
+            if mode not in SHARD_EXECUTORS:
+                raise ShardingError(
+                    f"rebalance migration executor {mode!r} must be one of "
+                    f"{SHARD_EXECUTORS}")
+        self.quiesce()
+        for vertex, target in plan.reassign.items():
+            self._partitioner.reassign(vertex, int(target))
+        for shard, mode in plan.migrate.items():
+            self.migrate_shard(int(shard), executor=str(mode))
+
+    def recover_dead_shards(self) -> List[int]:
+        """Rebuild every dead worker; return the recovered shard indices.
+
+        Each dead worker (a crashed / killed shard process) is replaced by
+        a fresh worker of the engine's executor mode.  When the engine has
+        a snapshot (taken or loaded), the dead shard's payload is restored
+        from it and the shard's acknowledged count is reset to the
+        snapshot's; without one the shard restarts empty (count 0).
+
+        **Loss bound** (test-asserted): a recovered shard loses exactly the
+        edges *it* acknowledged after the last snapshot —
+        ``shard_items()[i] - snapshot_items()[i]`` at crash time — and
+        nothing else; surviving shards lose nothing.  Queries after
+        recovery are prefix-consistent per shard: they reflect every edge
+        up to the shard's snapshot and none after it.
+
+        Raises
+        ------
+        SnapshotError
+            When the last snapshot has gone missing or corrupt.
+        ShardingError
+            When a replacement worker cannot be built or loaded.
+        """
+        self._assert_no_pending_async()
+        dead = [shard for shard, worker in enumerate(self._workers)
+                if not worker.alive()]
+        if not dead:
+            return []
+        body = None
+        if self._last_snapshot_path is not None:
+            body = snapshot_format.read_manifest(
+                self._last_snapshot_path,
+                verify=self._snapshot_config.verify_checksums)
+        for shard in dead:
+            # The worker is already dead; close only reaps its remains.
+            # repro-lint: ok EXC001 - reaping must not abort the recovery
+            with contextlib.suppress(Exception):
+                self._workers[shard].close()
+            replacement = make_shard_worker(self.executor_mode, self.factory,
+                                            name=f"shard-{shard}")
+            if body is not None:
+                payload = snapshot_format.read_shard_payload(
+                    self._last_snapshot_path, body, shard,
+                    verify=self._snapshot_config.verify_checksums)
+                loaded = replacement.call(LOAD_OP, payload)
+                if not loaded.ok:
+                    # Discard the half-built replacement.
+                    # repro-lint: ok EXC001 - the load failure raises below
+                    with contextlib.suppress(Exception):
+                        replacement.close()
+                    raise ShardingError(
+                        f"recovery of shard {shard} failed to load the "
+                        f"snapshot payload: {loaded.error}") from loaded.error
+                self._shard_items[shard] = int(body["shards"][shard]["items"])
+            else:
+                self._shard_items[shard] = 0
+            self._workers[shard] = replacement
+        return dead
 
     # ------------------------------------------------------------------ #
     # lifecycle

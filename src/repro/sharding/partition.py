@@ -15,11 +15,19 @@ Both modes build on :func:`repro.core.hashing.shard_of`, the process-stable
 shard-assignment hash also used by the shard-skew stream generators, so a
 stream biased toward particular shards and the engine partitioning it always
 agree on what "shard k" means.
+
+``"source"`` mode additionally supports **key reassignment** for elastic
+rebalancing: :meth:`ShardPartitioner.reassign` overrides the hash assignment
+of a hot source vertex so its *future* edges land on a chosen shard.  Edges
+inserted before the reassignment stay where they are, so the partitioner
+remembers every vertex's **owner history**; read paths that must see all of
+a vertex's edges query every historical owner and sum the (disjoint)
+per-shard answers, which is exact because the shards partition the stream.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from ..core.config import SHARD_PARTITION_MODES
 from ..core.hashing import hash64, shard_of
@@ -71,6 +79,13 @@ class ShardPartitioner:
         self.partition_by = partition_by
         self.seed = seed
         self._vertex_memo: Dict[Vertex, int] = {}
+        #: Explicit vertex→shard overrides installed by :meth:`reassign`.
+        #: Authoritative record of every reassigned key (the memo holds the
+        #: same values plus plain hash results, and can be rebuilt from this).
+        self._overrides: Dict[Vertex, int] = {}
+        #: Shards that owned a reassigned vertex before its current owner,
+        #: oldest first.  Read fan-out unions these with the current owner.
+        self._previous_owners: Dict[Vertex, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # assignment
@@ -98,6 +113,105 @@ class ShardPartitioner:
             return 0
         return (hash64(source, self.seed) * 0x9E3779B97F4A7C15
                 + hash64(destination, self.seed)) % self.num_shards
+
+    # ------------------------------------------------------------------ #
+    # key reassignment (elastic rebalancing)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_reassignments(self) -> bool:
+        """True once any vertex has been moved off its hash-assigned shard."""
+        return bool(self._overrides)
+
+    def reassign(self, vertex: Vertex, shard: int) -> None:
+        """Override ``vertex``'s shard so its *future* edges land on ``shard``.
+
+        Only valid in ``"source"`` mode — in ``"edge"`` mode a single vertex
+        has no owning shard to move.  Edges already inserted under the old
+        owner stay there; the old owner joins the vertex's owner history so
+        read paths keep seeing every edge (:meth:`owners_of_vertex`).
+        Reassigning a vertex to its current owner is a no-op.
+
+        Raises
+        ------
+        ConfigurationError
+            In ``"edge"`` mode, or when ``shard`` is out of range.
+        """
+        if self.partition_by != "source":
+            raise ConfigurationError(
+                "key reassignment requires partition_by='source'; "
+                "'edge' mode hashes (source, destination) pairs and has no "
+                "per-vertex owner to move")
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"reassignment target shard {shard} out of range "
+                f"[0, {self.num_shards})")
+        current = self.shard_of_vertex(vertex)
+        if shard == current:
+            return
+        history = self._previous_owners.get(vertex, ())
+        if current not in history:
+            self._previous_owners[vertex] = history + (current,)
+        self._overrides[vertex] = shard
+        self._vertex_memo[vertex] = shard
+
+    def owners_of_vertex(self, vertex: Vertex) -> Tuple[int, ...]:
+        """Every shard that may hold edges of ``vertex``, current owner first.
+
+        For a never-reassigned vertex this is a 1-tuple; after reassignment
+        it also contains every historical owner (deduplicated).  Summing a
+        distributive query over these shards is exact because each edge
+        occurrence was inserted into exactly one of them.
+        """
+        owners = (self.shard_of_vertex(vertex),)
+        for previous in self._previous_owners.get(vertex, ()):
+            if previous not in owners:
+                owners += (previous,)
+        return owners
+
+    def owners_of_edge(self, source: Vertex, destination: Vertex) -> Tuple[int, ...]:
+        """Every shard that may hold occurrences of the edge, current first.
+
+        ``"edge"`` mode never reassigns, so the answer there is always a
+        1-tuple; ``"source"`` mode delegates to :meth:`owners_of_vertex`.
+        """
+        if self.partition_by == "source":
+            return self.owners_of_vertex(source)
+        return (self.shard_of_edge(source, destination),)
+
+    # ------------------------------------------------------------------ #
+    # snapshot state
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot of the partitioner's full assignment state.
+
+        The returned dict captures the static identity (shard count, mode,
+        seed) plus every override and owner history; feeding it to
+        :meth:`from_state` reproduces a partitioner that agrees with this one
+        on every assignment and every owner set.  Hash-derived memo entries
+        are *not* exported — they are recomputed on demand.
+        """
+        return {
+            "num_shards": self.num_shards,
+            "partition_by": self.partition_by,
+            "seed": self.seed,
+            "overrides": dict(self._overrides),
+            "previous_owners": dict(self._previous_owners),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ShardPartitioner":
+        """Rebuild a partitioner from :meth:`export_state` output."""
+        partitioner = cls(int(state["num_shards"]),
+                          partition_by=str(state["partition_by"]),
+                          seed=int(state["seed"]))
+        for vertex, shard in dict(state.get("overrides", {})).items():
+            partitioner._overrides[vertex] = int(shard)
+            partitioner._vertex_memo[vertex] = int(shard)
+        for vertex, owners in dict(state.get("previous_owners", {})).items():
+            partitioner._previous_owners[vertex] = tuple(int(s) for s in owners)
+        return partitioner
 
     # ------------------------------------------------------------------ #
     # bulk splitting
@@ -131,15 +245,24 @@ class ShardPartitioner:
 
     def group_pairs(self, pairs: Iterable[Tuple[Vertex, Vertex]]
                     ) -> Dict[int, List[Tuple[Vertex, Vertex]]]:
-        """Group ``(source, destination)`` pairs by owning shard.
+        """Group ``(source, destination)`` pairs by owning shard, for reads.
 
         Used by composite (path / subgraph) queries to turn one multi-edge
-        query into at most one sub-query per shard.
+        query into at most one sub-query per shard.  A pair whose source was
+        reassigned appears in *every* historical owner's group — its
+        occurrences may be split across them, and summing the per-shard
+        answers re-unifies the count exactly.  Write routing must use
+        :meth:`shard_of_edge` (current owner only) instead.
         """
         grouped: Dict[int, List[Tuple[Vertex, Vertex]]] = {}
+        if not self._previous_owners:
+            for source, destination in pairs:
+                shard = self.shard_of_edge(source, destination)
+                grouped.setdefault(shard, []).append((source, destination))
+            return grouped
         for source, destination in pairs:
-            shard = self.shard_of_edge(source, destination)
-            grouped.setdefault(shard, []).append((source, destination))
+            for shard in self.owners_of_edge(source, destination):
+                grouped.setdefault(shard, []).append((source, destination))
         return grouped
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -20,11 +20,15 @@ from repro.streams.generators import StreamSpec, generate_stream
 
 
 def pytest_configure(config) -> None:
-    """Register the ``lockgraph`` marker (tests run under the detector)."""
+    """Register the ``lockgraph`` and ``faultinject`` markers."""
     config.addinivalue_line(
         "markers",
         "lockgraph: runs under the runtime lock-order detector "
         "(tools.analyze.lockgraph); selected by the static-analysis CI job")
+    config.addinivalue_line(
+        "markers",
+        "faultinject: chaos tests that kill/delay/corrupt shard workers "
+        "(tests/faultinject.py); selected by the fault-injection CI job")
 
 
 @pytest.fixture()

@@ -31,7 +31,7 @@ class TestRegistry:
     def test_every_paper_experiment_is_registered(self):
         expected = {"table2", "fig2", "fig3", "fig10", "fig11", "fig12", "fig13",
                     "fig14", "fig15", "fig16", "fig18", "fig19", "fig20a",
-                    "fig20b", "fig21", "batch", "sharded", "serve"}
+                    "fig20b", "fig21", "batch", "sharded", "serve", "rebalance"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_experiment_raises(self, tmp_path):

@@ -61,7 +61,8 @@ class TestCommittedBaselines:
         assert 0.0 < spec["tolerance"] < 1.0
         assert spec["scale"] > 0
         assert set(spec["metrics"]) == {"batch_higgs_speedup_x",
-                                        "sharded_parallel_x4"}
+                                        "sharded_parallel_x4",
+                                        "rebalance_recovery_x"}
         for entry in spec["metrics"].values():
             assert entry["value"] > 1.0, "a gated speedup baseline must be >1x"
 

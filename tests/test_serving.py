@@ -426,3 +426,134 @@ class TestSchedulerRobustness:
             # The scheduler survived: writes still serve and flush goes idle.
             assert engine.submit_write(StreamEdge("a", "b", 1.0, 2)).result(10) == 1
             assert engine.flush(timeout=10)
+
+
+class TestMaintenanceRounds:
+    """run_maintenance executes between epochs with the summary to itself."""
+
+    @pytest.mark.lockgraph
+    def test_maintenance_sees_all_prior_writes_and_blocks_later_ones(
+            self, lock_monitor):
+        observed = []
+        with (ShardedSummary(ExactTemporalGraph, shards=2,
+                             executor="thread") as sharded,
+              ServingEngine(sharded) as engine):
+            for batch in (_edges(30), _edges(30, offset=100)):
+                engine.submit_write(batch)
+            fence = engine.run_maintenance(
+                lambda s: observed.append(s.items_ingested))
+            engine.submit_write(_edges(30, offset=200))
+            engine.flush(timeout=30)
+            fence.result(10)
+        # The maintenance round ran after both earlier epochs committed
+        # (60 edges) and before the later epoch started (90 edges).
+        assert observed == [60]
+
+    def test_maintenance_failure_fails_only_its_future(self):
+        with (ShardedSummary(ExactTemporalGraph, shards=2) as sharded,
+              ServingEngine(sharded) as engine):
+            bad = engine.run_maintenance(
+                lambda s: (_ for _ in ()).throw(ValueError("surgery slipped")))
+            with pytest.raises(ValueError, match="surgery slipped"):
+                bad.result(10)
+            assert engine.submit_write(StreamEdge("a", "b", 1.0, 1)).result(10) == 1
+            assert engine.submit_query(EdgeQuery("a", "b", 0, 10)).result(10) == 1.0
+
+
+@pytest.mark.faultinject
+class TestChaosRecovery:
+    """Kill a process shard worker mid-epoch under live serving traffic.
+
+    The probed edge's source pins it to the victim shard and is written
+    only *before* the snapshot, so across the kill and the snapshot-based
+    recovery every successful read of it must return exactly the committed
+    pre-snapshot value — a torn or rolled-back-too-far read would produce
+    anything else.  Failed requests may only carry the engine's typed
+    errors (ServingError / ShardingError), never a raw worker exception.
+    """
+
+    PROBE_WRITES = 8
+
+    @pytest.mark.lockgraph
+    def test_reads_stay_prefix_consistent_across_recovery(
+            self, lock_monitor, tmp_path):
+        from faultinject import kill_worker
+        from repro import SnapshotConfig
+        from repro.errors import ShardingError
+
+        with ShardedSummary(
+                ExactTemporalGraph, shards=3, executor="process",
+                snapshot=SnapshotConfig(directory=str(tmp_path / "snap"))
+                ) as sharded:
+            part = sharded.partitioner
+            probe_src, probe_dst = "hot-src", "hot-dst"
+            victim = part.shard_of_vertex(probe_src)
+            # Phase-2 filler sources that share the victim shard but are
+            # not the probed edge, plus some spread over other shards.
+            fillers = [f"f{i}" for i in range(200)]
+            t_max = 10**6
+
+            with ServingEngine(sharded) as engine:
+                # Phase 1: commit the probed edge's full history, snapshot.
+                for i in range(self.PROBE_WRITES):
+                    engine.submit_write(
+                        StreamEdge(probe_src, probe_dst, float(i + 1), i))
+                assert engine.flush(timeout=30)
+                final = float(sum(range(1, self.PROBE_WRITES + 1)))
+                engine.run_maintenance(lambda s: s.snapshot()).result(30)
+
+                # Phase 2: victim-shard traffic + concurrent probed reads.
+                torn, bad_errors = [], []
+                stop = threading.Event()
+
+                def reader():
+                    while not stop.is_set():
+                        try:
+                            value = engine.submit_query(EdgeQuery(
+                                probe_src, probe_dst, 0, t_max)).result(30)
+                        except (ServingError, ShardingError):
+                            continue  # aborted round / dead shard: typed, ok
+                        except BaseException as exc:
+                            # Anything untyped leaking out of the engine is
+                            # exactly what this test exists to catch.
+                            bad_errors.append(exc)
+                            return
+                        if value != final:
+                            torn.append(value)
+
+                readers = [threading.Thread(target=reader, daemon=True)
+                           for _ in range(3)]
+                for thread in readers:
+                    thread.start()
+                write_futures = []
+                for round_no in range(30):
+                    batch = [StreamEdge(fillers[(round_no * 7 + j) % 200],
+                                        f"d{j}", 1.0, 1000 + round_no)
+                             for j in range(10)]
+                    write_futures.append(engine.submit_write(batch))
+                    if round_no == 10:
+                        kill_worker(sharded, victim)
+                    time.sleep(0.002)
+                failed = 0
+                for future in write_futures:
+                    try:
+                        future.result(30)
+                    except (ServingError, ShardingError):
+                        failed += 1
+                stop.set()
+                for thread in readers:
+                    thread.join(timeout=30)
+                assert not any(thread.is_alive() for thread in readers)
+
+                assert torn == [], (
+                    f"reads observed non-prefix values across recovery: "
+                    f"{sorted(set(torn))[:5]}")
+                assert bad_errors == [], bad_errors
+                # Auto-recovery rebuilt the victim from the snapshot and
+                # the engine kept serving typed failures only.
+                assert all(worker.alive() for worker in sharded._workers)
+                assert engine.submit_query(EdgeQuery(
+                    probe_src, probe_dst, 0, t_max)).result(30) == final
+                # The victim shard holds at least its snapshot prefix.
+                assert sharded.shard_items()[victim] >= \
+                    sharded.snapshot_items()[victim]

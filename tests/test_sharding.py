@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Higgs, HiggsConfig, HiggsShardFactory, ShardedSummary, ShardingConfig
+from repro import (Higgs, HiggsConfig, HiggsShardFactory, ShardedSummary,
+                   ShardingConfig, SnapshotConfig)
 from repro.core.executor import make_shard_worker, resolve_executor
 from repro.core.hashing import shard_of
 from repro.errors import ConfigurationError, QueryError, ShardingError
@@ -228,9 +229,11 @@ class TestExecutors:
 
     def test_dead_worker_process_surfaces_as_sharding_error(self, small_stream):
         """Killing a shard child mid-life must not desynchronize the engine:
-        subsequent operations raise ShardingError (never a raw OSError) and
-        submit/collect pairing survives for later calls."""
-        with ShardedSummary(_factory(), shards=2, executor="process") as sharded:
+        the failed operation raises ShardingError (never a raw OSError), and
+        — with auto-recovery disabled — later scatters keep failing cleanly
+        while the surviving shard still answers routed queries."""
+        with ShardedSummary(_factory(), shards=2, executor="process",
+                            snapshot=SnapshotConfig(auto_recover=False)) as sharded:
             sharded.insert_stream(small_stream)
             sharded._workers[1]._process.terminate()
             sharded._workers[1]._process.join(timeout=5)
@@ -244,6 +247,21 @@ class TestExecutors:
             vertex = next(f"v{i}" for i in range(1000)
                           if partitioner.shard_of_vertex(f"v{i}") == 0)
             assert sharded.vertex_query(vertex, 0, 10**6, "out") >= 0.0
+
+    def test_dead_worker_auto_recovers_by_default(self, small_stream):
+        """With the default SnapshotConfig, the first failed operation still
+        raises (no silent retry) but rebuilds the dead shard, so subsequent
+        operations succeed; without a snapshot the shard restarts empty."""
+        with ShardedSummary(_factory(), shards=2, executor="process") as sharded:
+            sharded.insert_stream(small_stream)
+            survivor_items = sharded.shard_items()[0]
+            sharded._workers[1]._process.terminate()
+            sharded._workers[1]._process.join(timeout=5)
+            with pytest.raises(ShardingError):
+                sharded.memory_bytes()
+            assert all(worker.alive() for worker in sharded._workers)
+            assert sharded.memory_bytes() >= 0
+            assert sharded.shard_items() == (survivor_items, 0)
 
     def test_busy_seconds_accumulate(self, small_stream):
         sharded = ShardedSummary(_factory(), shards=2)

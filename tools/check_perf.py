@@ -73,11 +73,20 @@ def run_measurements(scale: float) -> Dict[str, float]:
       ``insert`` throughput ratio (the PR 1 win).
     * ``sharded_parallel_x4`` — projected-parallel ingest speedup of the
       4-shard engine over 1 shard (the PR 2 win).
+    * ``rebalance_recovery_x`` — slowest-shard load ratio of the skewed
+      phase over the rebalanced phase of the elastic-rebalancing
+      experiment, i.e. the projected throughput recovered by live key
+      reassignment (the PR 7 win).  Computed from deterministic item
+      counters, so it cannot flake on timing noise; a broken
+      ``rebalance()`` path collapses it to ~1×.
 
     Informational absolute metrics (reported, not gated):
-    ``batch_higgs_eps``, ``batch_higgs_per_item_eps``, ``sharded_wall_eps_1``.
+    ``batch_higgs_eps``, ``batch_higgs_per_item_eps``,
+    ``sharded_wall_eps_1``, ``rebalance_measured_x``,
+    ``rebalance_recover_s``.
     """
-    from repro.bench.experiments import run_batch_speedup, run_sharded_scaling
+    from repro.bench.experiments import (run_batch_speedup, run_rebalance,
+                                         run_sharded_scaling)
 
     batch_rows = run_batch_speedup(methods=("HIGGS",), scale=scale)
     higgs = next(row for row in batch_rows if row["method"] == "HIGGS")
@@ -86,12 +95,21 @@ def run_measurements(scale: float) -> Dict[str, float]:
                                        hot_fractions=())
     by_shards = {row["shards"]: row for row in sharded_rows
                  if row["figure"] == "sharded"}
+
+    rebalance_rows = run_rebalance(scale=scale)
+    rebalanced = next(row for row in rebalance_rows
+                      if row["phase"] == "rebalanced")
+    recovery = next(row for row in rebalance_rows
+                    if row["figure"] == "rebalance-recovery")
     return {
         "batch_higgs_speedup_x": float(higgs["speedup"]),
         "batch_higgs_eps": float(higgs["batch_eps"]),
         "batch_higgs_per_item_eps": float(higgs["per_item_eps"]),
         "sharded_parallel_x4": float(by_shards[4]["parallel_x"]),
         "sharded_wall_eps_1": float(by_shards[1]["wall_eps"]),
+        "rebalance_recovery_x": float(rebalanced["recovery_x"]),
+        "rebalance_measured_x": float(rebalanced["measured_x"]),
+        "rebalance_recover_s": float(recovery["recover_s"]),
     }
 
 
@@ -172,7 +190,8 @@ def main(argv: List[str] | None = None) -> int:
     measured = run_measurements(scale)
 
     if args.update:
-        gated_names = ("batch_higgs_speedup_x", "sharded_parallel_x4")
+        gated_names = ("batch_higgs_speedup_x", "sharded_parallel_x4",
+                       "rebalance_recovery_x")
         spec = {
             "scale": scale,
             "tolerance": tolerance,
