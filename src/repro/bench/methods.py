@@ -130,7 +130,8 @@ def make_sharded_higgs(stream: GraphStream, shards: int, *,
                        executor: str = "serial",
                        partition_by: str = "source",
                        batch_size: int = DEFAULT_BATCH_SIZE,
-                       z_multiple: float = DEFAULT_Z_MULTIPLE) -> ShardedSummary:
+                       z_multiple: float = DEFAULT_Z_MULTIPLE,
+                       registry=None) -> ShardedSummary:
     """Construct a sharded HIGGS engine parameterized for ``stream``.
 
     Every shard runs the *same* HIGGS configuration the unsharded baseline
@@ -154,11 +155,14 @@ def make_sharded_higgs(stream: GraphStream, shards: int, *,
         Per-shard batch size used by the engine's stream replay.
     z_multiple:
         HIGGS hash-range multiple (see :func:`scaled_higgs_config`).
+    registry:
+        Optional :class:`~repro.observability.MetricsRegistry` the engine
+        registers its ``sharding_*`` metrics in (None keeps it private).
     """
     config = scaled_higgs_config(max(1, len(stream)), z_multiple=z_multiple)
     return ShardedSummary(HiggsShardFactory(config), shards=shards,
                           executor=executor, partition_by=partition_by,
-                          batch_size=batch_size)
+                          batch_size=batch_size, registry=registry)
 
 
 def ingest(summary: TemporalGraphSummary, stream: GraphStream, *,

@@ -26,11 +26,18 @@ def _format_value(value: object) -> str:
 def format_table(rows: Sequence[Mapping[str, object]],
                  columns: Optional[Sequence[str]] = None,
                  title: Optional[str] = None) -> str:
-    """Render rows as an aligned ASCII table."""
+    """Render rows as an aligned ASCII table.
+
+    When ``columns`` is not given, they derive from the first row's keys,
+    skipping container-valued entries (dicts/lists such as attached metric
+    snapshots) that would wreck the column alignment; the JSON side of
+    :func:`save_rows` still carries them in full.
+    """
     if not rows:
         return f"{title or 'table'}: (no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = [key for key, value in rows[0].items()
+                   if not isinstance(value, (dict, list, tuple))]
     rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
     widths = [max(len(col), *(len(r[i]) for r in rendered))
               for i, col in enumerate(columns)]

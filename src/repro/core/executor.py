@@ -44,6 +44,13 @@ from ..errors import ShardingError
 #: invoking the target (handled uniformly by every worker implementation).
 BUSY_SECONDS_OP = "__busy_seconds__"
 
+#: Reserved method name: returns the worker's load counters —
+#: ``{"busy_seconds": float, "calls": int}`` — in one round trip.  The
+#: observability layer scrapes this instead of issuing one reserved op per
+#: counter; like :data:`BUSY_SECONDS_OP`, the stats call itself never counts
+#: toward the counters it reports.
+STATS_OP = "__stats__"
+
 #: Reserved method name: a no-op barrier.  Because every worker serves its
 #: calls in FIFO order, collecting the result of a drain op proves that every
 #: call submitted before it has finished executing — the epoch barrier the
@@ -220,6 +227,18 @@ class ShardWorker(ABC):
         result = self.call(BUSY_SECONDS_OP)
         return float(result.value) if result.ok else 0.0
 
+    def stats(self) -> dict:
+        """Load counters of this worker: ``busy_seconds`` and ``calls``.
+
+        One round trip through the reserved :data:`STATS_OP`; a dead worker
+        reports zeros rather than raising, so a metrics sweep over a pool
+        with a crashed shard still completes.
+        """
+        result = self.call(STATS_OP)
+        if result.ok and isinstance(result.value, dict):
+            return dict(result.value)
+        return {"busy_seconds": 0.0, "calls": 0}
+
     def drain(self, timeout: Optional[float] = None) -> ShardResult:
         """Block until every previously submitted call has finished.
 
@@ -248,11 +267,15 @@ def _apply_reserved(holder: Any, method: str, args: Tuple,
 
     ``holder`` is any object with a mutable ``target`` attribute (the worker
     itself, or the child process's target holder).  Reserved ops never count
-    toward busy time: the busy counters feed scale-out projections of real
-    shard work, and snapshot/migration traffic would distort them.
+    toward busy time or the call counter: those counters feed scale-out
+    projections and load dashboards of real shard work, and
+    snapshot/migration/metrics traffic would distort them.
     """
     if method == BUSY_SECONDS_OP:
         return ShardResult(True, busy[0])
+    if method == STATS_OP:
+        return ShardResult(True, {"busy_seconds": busy[0],
+                                  "calls": int(busy[1])})
     if method == DRAIN_OP:
         return ShardResult(True, None)
     if method == SERIALIZE_OP:
@@ -272,13 +295,15 @@ def _apply_reserved(holder: Any, method: str, args: Tuple,
 
 def _timed_invoke(target: Any, method: str, args: Tuple, kwargs: Optional[dict],
                   busy: List[float]) -> Any:
-    """Invoke ``target.<method>`` and add the elapsed time to ``busy[0]``."""
+    """Invoke ``target.<method>``; add elapsed time to ``busy[0]`` and one
+    call to ``busy[1]``."""
     start = time.perf_counter()
     try:
         bound = getattr(target, method)
         return bound(*args) if not kwargs else bound(*args, **kwargs)
     finally:
         busy[0] += time.perf_counter() - start
+        busy[1] += 1
 
 
 class InlineShardWorker(ShardWorker):
@@ -292,7 +317,7 @@ class InlineShardWorker(ShardWorker):
     def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
         self.target = factory()
         self.name = name
-        self._busy = [0.0]
+        self._busy = [0.0, 0]
         self._pending: List[ShardResult] = []
 
     @property
@@ -333,7 +358,7 @@ class ThreadShardWorker(ShardWorker):
     def __init__(self, factory: Callable[[], Any], *, name: str = "shard") -> None:
         self.target = factory()
         self.name = name
-        self._busy = [0.0]
+        self._busy = [0.0, 0]
         self._results: "queue.Queue[ShardResult]" = queue.Queue()
         self._tasks: "queue.Queue[Optional[Tuple[str, Tuple, Optional[dict]]]]" = \
             queue.Queue()
@@ -430,7 +455,7 @@ def _process_worker_main(factory: Callable[[], Any], conn) -> None:
         conn.close()
         return
     conn.send(("ready", None))
-    busy = [0.0]
+    busy = [0.0, 0]
     while True:
         try:
             request = conn.recv()

@@ -1,0 +1,131 @@
+"""Closed-loop controller for adaptive write-epoch coalescing.
+
+The serving engine coalesces admitted writes into one ``insert_batch`` epoch
+per scheduler round, capped at a maximum epoch size.  That cap is a
+latency/throughput dial: small epochs let reads interleave quickly (good
+under light load), large epochs amortize per-batch overhead and drain a
+backlog fast (good under heavy load).  No fixed setting wins both regimes,
+so :class:`AdaptiveEpochController` moves the cap at run time from the one
+signal that distinguishes the regimes — admission-queue depth:
+
+* queue depth at or above ``high_fraction`` of capacity → **widen**
+  immediately (multiply by ``grow_factor``, clamped to ``max_size``): a
+  deep queue means the engine is behind and epoch overhead is the enemy;
+* queue depth at or below ``low_fraction`` of capacity for
+  ``cooldown_rounds`` *consecutive* observations → **narrow** once
+  (multiply by ``shrink_factor``, clamped to ``min_size``): a persistently
+  shallow queue means latency, not throughput, is what matters;
+* anything in between (or an interrupted low streak) → hold.
+
+Growing reacts instantly while shrinking needs a sustained quiet period —
+that asymmetry is the oscillation damping: a bursty workload that
+alternates deep and shallow queues settles wide instead of thrashing the
+cap every round.  With zero traffic the controller walks down to
+``min_size`` and idles there.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class AdaptiveEpochController:
+    """Queue-depth-driven controller for the write-epoch size cap.
+
+    Parameters
+    ----------
+    min_size / max_size:
+        Inclusive bounds the epoch cap moves between.
+    initial:
+        Starting cap; ``None`` starts at ``min_size``.  Clamped into the
+        bounds either way.
+    grow_factor:
+        Multiplier applied when the queue is deep (must be > 1).
+    shrink_factor:
+        Multiplier applied after a sustained shallow streak (in ``(0, 1)``).
+    high_fraction / low_fraction:
+        Queue-depth fractions of capacity that trigger growing and count
+        toward shrinking; ``0 <= low_fraction < high_fraction <= 1``.
+    cooldown_rounds:
+        Number of consecutive shallow observations required before one
+        shrink step (>= 1) — the damping term.
+
+    The controller is deliberately stateless about time: it observes once
+    per scheduler round, so its time constant scales with round rate (busy
+    engines adapt faster, idle engines cost nothing).
+
+    Raises
+    ------
+    ConfigurationError
+        On inconsistent bounds, factors, fractions, or cooldown.
+    """
+
+    def __init__(self, *, min_size: int, max_size: int,
+                 initial: int | None = None,
+                 grow_factor: float = 2.0, shrink_factor: float = 0.5,
+                 high_fraction: float = 0.5, low_fraction: float = 0.125,
+                 cooldown_rounds: int = 3) -> None:
+        if min_size < 1:
+            raise ConfigurationError("min_size must be >= 1")
+        if max_size < min_size:
+            raise ConfigurationError(
+                f"max_size ({max_size}) must be >= min_size ({min_size})")
+        if grow_factor <= 1.0:
+            raise ConfigurationError("grow_factor must be > 1")
+        if not 0.0 < shrink_factor < 1.0:
+            raise ConfigurationError("shrink_factor must be in (0, 1)")
+        if not 0.0 <= low_fraction < high_fraction <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= low_fraction < high_fraction <= 1, got "
+                f"low {low_fraction} / high {high_fraction}")
+        if cooldown_rounds < 1:
+            raise ConfigurationError("cooldown_rounds must be >= 1")
+        self.min_size = int(min_size)
+        self.max_size = int(max_size)
+        self.grow_factor = float(grow_factor)
+        self.shrink_factor = float(shrink_factor)
+        self.high_fraction = float(high_fraction)
+        self.low_fraction = float(low_fraction)
+        self.cooldown_rounds = int(cooldown_rounds)
+        start = self.min_size if initial is None else int(initial)
+        self._size = min(self.max_size, max(self.min_size, start))
+        self._low_streak = 0
+        self._adjustments = 0
+
+    @property
+    def size(self) -> int:
+        """The current epoch-size cap (always within the bounds)."""
+        return self._size
+
+    @property
+    def adjustments(self) -> int:
+        """Number of cap changes made so far (grow and shrink steps)."""
+        return self._adjustments
+
+    def observe(self, queue_depth: int, queue_capacity: int) -> int:
+        """Feed one queue-depth observation; return the (new) cap.
+
+        ``queue_depth`` is the admission-queue length at round start and
+        ``queue_capacity`` its configured bound.  Depths beyond capacity
+        (possible transiently around a blocked producer) count as full.
+        """
+        if queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        fraction = min(1.0, max(0, queue_depth) / queue_capacity)
+        if fraction >= self.high_fraction:
+            self._low_streak = 0
+            widened = min(self.max_size, int(self._size * self.grow_factor))
+            if widened != self._size:
+                self._size = max(self.min_size, widened)
+                self._adjustments += 1
+        elif fraction <= self.low_fraction:
+            self._low_streak += 1
+            if self._low_streak >= self.cooldown_rounds:
+                self._low_streak = 0
+                narrowed = max(self.min_size, int(self._size * self.shrink_factor))
+                if narrowed != self._size:
+                    self._size = narrowed
+                    self._adjustments += 1
+        else:
+            self._low_streak = 0
+        return self._size

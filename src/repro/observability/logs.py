@@ -1,0 +1,136 @@
+"""Structured JSON metric snapshots: periodic log lines to a pluggable sink.
+
+Prometheus exposition answers "scrape me now"; log lines answer "what was
+happening at 14:02:31".  :class:`SnapshotEmitter` bridges the two: on a
+fixed interval (or on demand) it serializes a
+:meth:`~repro.observability.registry.MetricsRegistry.snapshot` as one JSON
+object per line — the structured-logging convention every log pipeline
+ingests — and hands it to a sink callable.  The default sink writes to
+``sys.stderr``; tests pass a list-appending sink, services pass their
+logger.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from .registry import MetricsRegistry
+
+
+def _stderr_sink(line: str) -> None:
+    """Default sink: one line to ``sys.stderr`` (looked up per call, so
+    test harnesses that swap ``sys.stderr`` capture it)."""
+    print(line, file=sys.stderr)
+
+
+class SnapshotEmitter:
+    """Emit a registry snapshot as a JSON log line, periodically or on demand.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.observability.registry.MetricsRegistry` to
+        snapshot.
+    sink:
+        Callable receiving each rendered line; defaults to ``sys.stderr``.
+        The sink runs on the emitter thread — it should be quick.  A sink
+        exception is swallowed (there is nowhere left to report it) and
+        counted in :attr:`sink_errors` instead of killing the loop.
+    interval_s:
+        Seconds between periodic emissions once :meth:`start` is called.
+    source:
+        Free-form identity stamped into every line (e.g. ``"serving"``),
+        so one pipeline can multiplex several emitters.
+    clock:
+        Wall-clock function used for the ``ts`` field (injectable for
+        deterministic tests).
+
+    The emitter is a context manager: entering calls :meth:`start`, leaving
+    calls :meth:`stop`.  :meth:`emit_once` works with or without the
+    background thread.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 sink: Optional[Callable[[str], None]] = None, *,
+                 interval_s: float = 10.0, source: str = "repro",
+                 clock: Callable[[], float] = time.time) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        self._registry = registry
+        self._sink = sink if sink is not None else _stderr_sink
+        self.interval_s = float(interval_s)
+        self.source = source
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._emitted = 0
+        self._sink_errors = 0
+
+    @property
+    def emitted(self) -> int:
+        """Number of snapshot lines handed to the sink so far."""
+        return self._emitted
+
+    @property
+    def sink_errors(self) -> int:
+        """Number of sink invocations that raised (and were swallowed)."""
+        return self._sink_errors
+
+    def emit_once(self) -> str:
+        """Build one snapshot line, hand it to the sink, and return it.
+
+        The line is a single JSON object with ``ts`` (epoch seconds),
+        ``event`` (always ``"metrics"``), ``source``, and ``metrics`` (the
+        registry snapshot), serialized with sorted keys so identical state
+        produces identical lines.
+        """
+        line = json.dumps({
+            "ts": round(self._clock(), 6),
+            "event": "metrics",
+            "source": self.source,
+            "metrics": self._registry.snapshot(),
+        }, sort_keys=True)
+        try:
+            self._sink(line)
+        # A broken sink must not kill the periodic loop (there is no one
+        # left to report to); the failure is counted instead.
+        # repro-lint: ok EXC001 - sink failures are counted in sink_errors
+        except Exception:  # noqa: BLE001
+            self._sink_errors += 1
+        self._emitted += 1
+        return line
+
+    def start(self) -> None:
+        """Start the periodic background emitter (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="metrics-emitter", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the periodic emitter and join its thread (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.emit_once()
+
+    def __enter__(self) -> "SnapshotEmitter":
+        """Context-manager entry: starts the periodic emitter."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: stops the periodic emitter."""
+        self.stop()

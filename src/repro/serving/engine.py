@@ -29,9 +29,23 @@ test enforces this against the Exact baseline).
 :class:`~repro.errors.ServingError`, so an open-loop overload degrades into
 explicit rejections instead of unbounded queueing latency.
 
-**Observability.**  Every request's admission-to-completion latency feeds a
-sliding-window tracker; :meth:`ServingEngine.stats` reports p50/p95/p99 per
-request kind plus epoch/served/dropped counters.
+**Observability.**  The engine instruments itself against a
+:class:`~repro.observability.MetricsRegistry` (its own private one by
+default, or a caller-provided registry when one dashboard should cover the
+engine and its sharded summary together): queue depth and peak, in-flight
+requests, the current epoch-size cap, per-kind request/drop/failure
+counters, epoch/read-round size histograms, and the per-request
+admission-to-completion latency summary.  :meth:`ServingEngine.render_prometheus`
+exposes everything in Prometheus text format; :meth:`ServingEngine.stats`
+keeps its dict report for programmatic callers.
+
+**Adaptive epoch sizing.**  With
+:attr:`~repro.core.config.ServingConfig.adaptive_epochs` on, the per-epoch
+write-coalescing cap is no longer the fixed ``max_batch_writes`` but a
+closed-loop value an :class:`~repro.observability.AdaptiveEpochController`
+moves between ``min_epoch_size`` and ``max_epoch_size`` from admission-queue
+depth: wide while a backlog is standing (amortize per-epoch overhead, drain
+fast), narrow once the queue stays shallow (let reads interleave quickly).
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Union
 
 from ..core.config import ServingConfig
 from ..errors import ServingError
+from ..observability import AdaptiveEpochController, MetricsRegistry
 from ..streams.edge import StreamEdge
 from ..summary import TemporalGraphSummary
 from .metrics import LatencyTracker
@@ -63,8 +78,14 @@ class ServingEngine:
         epochs submitted through the shard workers' submit-without-collect
         path.  The engine never closes the summary — it stays caller-owned.
     config:
-        Queue bound, backpressure policy, coalescing limits
+        Queue bound, backpressure policy, coalescing limits, adaptive
+        epoch-sizing knobs
         (:class:`~repro.core.config.ServingConfig`); ``None`` uses defaults.
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` the engine
+        registers its ``serving_*`` metrics in; ``None`` creates a private
+        registry (exposed via :attr:`metrics`).  Pass a shared registry to
+        scrape the engine and its sharded summary from one endpoint.
 
     Notes
     -----
@@ -85,7 +106,8 @@ class ServingEngine:
     """
 
     def __init__(self, summary: TemporalGraphSummary,
-                 config: Optional[ServingConfig] = None) -> None:
+                 config: Optional[ServingConfig] = None, *,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self._summary = summary
         self.config = config or ServingConfig()
         self._pending: Deque[_Request] = deque()  # guarded-by: _state
@@ -99,10 +121,82 @@ class ServingEngine:
         self._reads_served = 0
         self._dropped = 0
         self._failed = 0
-        self._latency = LatencyTracker(self.config.latency_window)
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._latency = LatencyTracker(self.config.latency_window,
+                                       registry=self._registry)
+        self._controller: Optional[AdaptiveEpochController] = None
+        if self.config.adaptive_epochs:
+            self._controller = AdaptiveEpochController(
+                min_size=self.config.min_epoch_size,
+                max_size=self.config.max_epoch_size,
+                grow_factor=self.config.epoch_grow_factor,
+                shrink_factor=self.config.epoch_shrink_factor,
+                high_fraction=self.config.queue_high_fraction,
+                low_fraction=self.config.queue_low_fraction,
+                cooldown_rounds=self.config.epoch_cooldown_rounds)
+        # The effective write-epoch cap of the *next* round: the controller's
+        # current size when adaptive, the fixed config bound otherwise.
+        self._epoch_limit = self._effective_epoch_limit()
+        self._init_metrics()
         self._scheduler = threading.Thread(target=self._loop,
                                            name="serving-scheduler", daemon=True)
         self._scheduler.start()
+
+    def _effective_epoch_limit(self) -> int:
+        """The write-epoch edge cap currently in force."""
+        if self._controller is None:
+            return self.config.max_batch_writes
+        return min(self.config.max_batch_writes, self._controller.size)
+
+    def _init_metrics(self) -> None:
+        """Register the engine's ``serving_*`` families in its registry."""
+        registry = self._registry
+        # Depth and in-flight are computed at collection time so a scrape is
+        # always current; len() on a deque and an int read are atomic in
+        # CPython, so the callbacks take no lock.
+        self._metric_queue_depth = registry.gauge(
+            "serving_queue_depth",
+            "Admitted requests waiting in the admission queue.")
+        self._metric_queue_depth.set_function(
+            # repro-lint: ok CONC002 - racy-read gauge; len(deque) is atomic
+            lambda: float(len(self._pending)))
+        self._metric_queue_peak = registry.gauge(
+            "serving_queue_depth_peak",
+            "Highest admission-queue depth observed so far.")
+        self._metric_queue_peak.set(0.0)
+        self._metric_inflight = registry.gauge(
+            "serving_inflight",
+            "Requests admitted but not yet resolved (queued or being served).")
+        self._metric_inflight.set_function(
+            # repro-lint: ok CONC002 - racy-read gauge; int read is atomic
+            lambda: float(self._inflight))
+        self._metric_epoch_limit = registry.gauge(
+            "serving_epoch_limit",
+            "Write-epoch edge cap currently in force (moves when adaptive "
+            "epoch sizing is enabled).")
+        self._metric_epoch_limit.set(float(self._epoch_limit))
+        self._metric_requests = registry.counter(
+            "serving_requests_total",
+            "Requests admitted, by request kind.", labelnames=("kind",))
+        self._metric_epochs = registry.counter(
+            "serving_epochs_total", "Write epochs committed.")
+        self._metric_edges = registry.counter(
+            "serving_edges_inserted_total",
+            "Edges acknowledged by committed write epochs.")
+        self._metric_dropped = registry.counter(
+            "serving_dropped_total",
+            "Requests rejected at admission under the drop policy.")
+        self._metric_failed = registry.counter(
+            "serving_failed_total",
+            "Requests resolved with an error (failed epochs, aborted reads).")
+        self._metric_maintenance = registry.counter(
+            "serving_maintenance_total", "Maintenance rounds executed.")
+        self._metric_epoch_edges = registry.histogram(
+            "serving_epoch_edges",
+            "Edges coalesced per committed write epoch.", window=4096)
+        self._metric_round_reads = registry.histogram(
+            "serving_round_reads",
+            "Queries coalesced per read round.", window=4096)
 
     # ------------------------------------------------------------------ #
     # client-facing API
@@ -221,6 +315,20 @@ class ServingEngine:
         """Number of committed write epochs."""
         return self._epochs
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry holding the engine's ``serving_*`` metric families."""
+        return self._registry
+
+    def render_prometheus(self) -> str:
+        """The engine's metrics in Prometheus text exposition format.
+
+        Renders the whole registry — including any co-registered families,
+        such as a shared sharded summary's ``sharding_*`` metrics — so one
+        scrape covers the full serving stack.
+        """
+        return self._registry.render_prometheus()
+
     def latency_percentiles(self, kind: str) -> Dict[str, float]:
         """p50/p95/p99 (and mean) latency of ``kind`` (``"read"``/``"write"``)."""
         return self._latency.percentiles(kind)
@@ -239,6 +347,7 @@ class ServingEngine:
             "failed": self._failed,
             "pending": pending,
             "inflight": inflight,
+            "epoch_limit": self._epoch_limit,
             "latency": self._latency.snapshot(),
         }
 
@@ -275,6 +384,7 @@ class ServingEngine:
             if len(self._pending) >= self.config.max_pending:
                 if self.config.admission == "drop":
                     self._dropped += 1
+                    self._metric_dropped.inc()
                     raise ServingError(
                         f"admission queue full ({self.config.max_pending} "
                         f"pending); request dropped")
@@ -289,6 +399,8 @@ class ServingEngine:
             # must not hide its admission wait from the percentiles.
             self._pending.append(request)
             self._inflight += 1
+            self._metric_queue_peak.set_max(float(len(self._pending)))
+            self._metric_requests.inc(kind=request.future.kind)
             self._state.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -312,12 +424,23 @@ class ServingEngine:
                         f"round aborted by a scheduler error: {exc!r}"))
 
     def _next_round(self) -> Optional[List[_Request]]:
-        """Drain one coalescable prefix of the queue (or ``None`` to stop)."""
+        """Drain one coalescable prefix of the queue (or ``None`` to stop).
+
+        With adaptive epoch sizing on, the round starts by feeding the
+        queue depth into the controller (pure arithmetic, safe under
+        ``_state``); the resulting cap bounds this round's write
+        coalescing in place of the fixed ``max_batch_writes``.
+        """
         with self._state:
             while not self._pending:
                 if self._closing:
                     return None
                 self._state.wait(self.config.poll_interval_s)
+            if self._controller is not None:
+                self._controller.observe(len(self._pending),
+                                         self.config.max_pending)
+                self._epoch_limit = self._effective_epoch_limit()
+            epoch_limit = self._epoch_limit
             picked: List[_Request] = []
             write_edges = 0
             reads = 0
@@ -332,7 +455,7 @@ class ServingEngine:
                     break
                 if isinstance(request, WriteRequest):
                     if picked and write_edges + len(request.edges) > \
-                            self.config.max_batch_writes:
+                            epoch_limit:
                         break
                     write_edges += len(request.edges)
                 else:
@@ -341,7 +464,8 @@ class ServingEngine:
                     reads += 1
                 picked.append(self._pending.popleft())
             self._state.notify_all()
-            return picked
+        self._metric_epoch_limit.set(float(epoch_limit))
+        return picked
 
     def _serve_round(self, round_requests: List[_Request]) -> None:
         """Commit the round's write epoch, then answer the round's reads.
@@ -381,6 +505,7 @@ class ServingEngine:
         except BaseException as exc:  # noqa: BLE001 - delivered via the future
             self._finish([request], error=exc)
             return
+        self._metric_maintenance.inc()
         self._finish([request], values=[value])
 
     def _commit_epoch(self, writes: List[WriteRequest]) -> Optional[BaseException]:
@@ -408,6 +533,9 @@ class ServingEngine:
         self._epochs += 1
         self._edges_inserted += inserted
         self._writes_served += len(writes)
+        self._metric_epochs.inc()
+        self._metric_edges.inc(inserted)
+        self._metric_epoch_edges.observe(float(len(edges)))
         self._finish(writes, values=[len(r.edges) for r in writes])
         return None
 
@@ -423,6 +551,7 @@ class ServingEngine:
             self._finish(reads, error=exc)
             return
         self._reads_served += len(reads)
+        self._metric_round_reads.observe(float(len(reads)))
         self._finish(reads, values=answers)
 
     def _finish(self, requests: List[_Request], *,
@@ -439,6 +568,7 @@ class ServingEngine:
                 self._latency.record(request.future.kind, latency)
         if error is not None:
             self._failed += len(requests)
+            self._metric_failed.inc(len(requests))
         with self._state:
             self._inflight -= len(requests)
             self._state.notify_all()

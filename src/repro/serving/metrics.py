@@ -1,41 +1,24 @@
 """Per-request latency accounting for the serving engine.
 
 The engine records one admission-to-completion latency sample per served
-request, split by request kind (read / write).  The tracker keeps a bounded
-window of recent samples per kind and reports nearest-rank percentiles —
-the p50/p95/p99 triple every serving benchmark and dashboard leads with.
+request, split by request kind (read / write / maintenance).  Since the
+observability layer landed, the tracker is a thin façade over a
+:class:`~repro.observability.WindowedHistogram` family labelled by request
+kind — the same series the engine's Prometheus endpoint exposes as
+``serving_latency_seconds{kind=...}`` — so ``stats()`` consumers and metric
+scrapers read one source of truth.  :func:`nearest_rank` (the percentile
+definition) lives in :mod:`repro.observability` and is re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from typing import Deque, Dict, Iterable, Tuple
+from typing import Dict, Optional
 
-from ..errors import ConfigurationError
+from ..observability import MetricsRegistry, WindowedHistogram, nearest_rank
+from ..observability.registry import REPORTED_PERCENTILES
 
-#: The percentile triple reported by :meth:`LatencyTracker.percentiles`.
-REPORTED_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
-
-
-def nearest_rank(sorted_samples: Iterable[float], percentile: float) -> float:
-    """Nearest-rank percentile of pre-sorted samples.
-
-    Uses the classic ceil(p/100 * N) rank definition, so the result is
-    always an observed sample (never an interpolation) and p100 is the
-    maximum.  Raises ``ValueError`` on an empty sample set or a percentile
-    outside ``(0, 100]``.
-    """
-    samples = list(sorted_samples)
-    if not samples:
-        # Stdlib-style math helper: ValueError mirrors statistics.quantiles
-        # and keeps this function importable without repro.errors.
-        # repro-lint: ok ERR001 — see above
-        raise ValueError("cannot take a percentile of zero samples")
-    if not 0.0 < percentile <= 100.0:
-        raise ValueError(f"percentile must be in (0, 100], got {percentile}")  # repro-lint: ok ERR001 — same contract as above
-    rank = max(1, -(-len(samples) * percentile // 100))  # ceil without math
-    return samples[int(rank) - 1]
+__all__ = ["LatencyTracker", "nearest_rank", "REPORTED_PERCENTILES"]
 
 
 class LatencyTracker:
@@ -47,36 +30,34 @@ class LatencyTracker:
         Number of most-recent samples kept per request kind; older samples
         fall off so a long-running engine reports current, not lifetime,
         latency.
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` to register the
+        backing ``serving_latency_seconds`` histogram in; ``None`` uses a
+        private registry (standalone trackers keep working unchanged).
 
     The tracker is thread-safe; the engine records from its scheduler thread
     while clients read snapshots concurrently.
     """
 
-    def __init__(self, window: int = 65536) -> None:
-        if window < 1:
-            raise ConfigurationError("window must be >= 1")
-        self._window = window
-        self._samples: Dict[str, Deque[float]] = {}  # guarded-by: _lock
-        self._counts: Dict[str, int] = {}  # guarded-by: _lock
-        self._total_seconds: Dict[str, float] = {}  # guarded-by: _lock
-        self._lock = threading.Lock()
+    #: Name of the histogram family backing every tracker.
+    METRIC_NAME = "serving_latency_seconds"
+
+    def __init__(self, window: int = 65536,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._histogram: WindowedHistogram = registry.histogram(
+            self.METRIC_NAME,
+            "Admission-to-completion request latency by request kind.",
+            labelnames=("kind",), window=window)
 
     def record(self, kind: str, seconds: float) -> None:
         """Record one latency sample for request ``kind``."""
-        with self._lock:
-            bucket = self._samples.get(kind)
-            if bucket is None:
-                bucket = self._samples[kind] = deque(maxlen=self._window)
-                self._counts[kind] = 0
-                self._total_seconds[kind] = 0.0
-            bucket.append(seconds)
-            self._counts[kind] += 1
-            self._total_seconds[kind] += seconds
+        self._histogram.observe(seconds, kind=kind)
 
     def count(self, kind: str) -> int:
         """Lifetime number of samples recorded for ``kind``."""
-        with self._lock:
-            return self._counts.get(kind, 0)
+        return self._histogram.count(kind=kind)
 
     def percentiles(self, kind: str) -> Dict[str, float]:
         """p50/p95/p99 (and mean) over the current window of ``kind``.
@@ -84,22 +65,14 @@ class LatencyTracker:
         Returns an empty dict when no sample of ``kind`` was recorded, so
         callers can merge the report without special-casing cold kinds.
         """
-        with self._lock:
-            samples = sorted(self._samples.get(kind, ()))
-        if not samples:
-            return {}
-        report = {f"p{percentile:g}": nearest_rank(samples, percentile)
-                  for percentile in REPORTED_PERCENTILES}
-        report["mean"] = sum(samples) / len(samples)
-        return report
+        return self._histogram.report(kind=kind)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Full report: per-kind counts, means, and percentile triples."""
-        with self._lock:
-            kinds = list(self._samples)
         report: Dict[str, Dict[str, float]] = {}
-        for kind in kinds:
-            entry = self.percentiles(kind)
-            entry["count"] = float(self.count(kind))
-            report[kind] = entry
+        for series, entry in self._histogram.snapshot()["values"].items():
+            kind = str(series).split("=", 1)[1]
+            kind_report = dict(self.percentiles(kind))
+            kind_report["count"] = float(entry["count"])
+            report[kind] = kind_report
         return report

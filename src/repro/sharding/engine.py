@@ -46,6 +46,7 @@ from ..core.executor import (LOAD_OP, SERIALIZE_OP, ShardResult, ShardWorker,
                              make_shard_worker, resolve_executor)
 from ..core.higgs import Higgs
 from ..errors import QueryError, ShardingError, SnapshotError
+from ..observability import MetricsRegistry
 from ..streams.edge import GraphStream, StreamEdge, Vertex
 from ..summary import TemporalGraphSummary
 from . import snapshot as snapshot_format
@@ -171,6 +172,11 @@ class ShardedSummary(TemporalGraphSummary):
         (:class:`~repro.core.config.SnapshotConfig`); ``None`` uses the
         defaults (no configured directory, auto-recovery of dead workers
         enabled, checksums verified on restore).
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` the engine
+        registers its ``sharding_*`` metrics in; ``None`` creates a private
+        registry (exposed via :attr:`metrics`).  Pass the serving engine's
+        registry to scrape both layers from one endpoint.
 
     Raises
     ------
@@ -201,7 +207,8 @@ class ShardedSummary(TemporalGraphSummary):
                  partition_by: Optional[str] = None,
                  executor: Optional[str] = None,
                  batch_size: Optional[int] = None,
-                 snapshot: Optional[SnapshotConfig] = None) -> None:
+                 snapshot: Optional[SnapshotConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         base = config or ShardingConfig()
         self.config = ShardingConfig(
             num_shards=shards if shards is not None else base.num_shards,
@@ -232,7 +239,50 @@ class ShardedSummary(TemporalGraphSummary):
         #: Directory of the last snapshot taken or loaded by this engine;
         #: crash recovery restores dead shards from here.
         self._last_snapshot_path: Optional[str] = None
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._init_metrics()
         self.name = f"Sharded[{self.config.num_shards}]"
+
+    def _init_metrics(self) -> None:
+        """Register the engine's ``sharding_*`` families in its registry.
+
+        The per-shard item gauge is computed at collection time from the
+        engine's acknowledged counts (a plain list read — no worker round
+        trip), so scraping never touches the submit/collect protocol.  The
+        busy-seconds and call-count gauges *do* need a worker round trip and
+        are therefore only refreshed by explicit calls
+        (:meth:`shard_busy_seconds` / :meth:`shard_stats`) — never from a
+        render-time callback, which could run concurrently with scheduler
+        traffic and mispair the workers' FIFO submit/collect ordering.
+        """
+        registry = self._registry
+        self._metric_items = registry.gauge(
+            "sharding_shard_items",
+            "Items acknowledged per shard.", labelnames=("shard",))
+        for index in range(self.config.num_shards):
+            self._metric_items.set_function(
+                lambda i=index: float(self._shard_items[i]),
+                shard=str(index))
+        self._metric_busy = registry.gauge(
+            "sharding_shard_busy_seconds",
+            "Cumulative seconds each shard worker spent executing calls "
+            "(as of the last shard_busy_seconds/shard_stats sweep).",
+            labelnames=("shard",))
+        self._metric_calls = registry.gauge(
+            "sharding_shard_calls",
+            "Cumulative calls each shard worker executed (as of the last "
+            "shard_stats sweep).", labelnames=("shard",))
+        self._metric_migrations = registry.counter(
+            "sharding_migrations_total", "Completed live shard migrations.")
+        self._metric_recoveries = registry.counter(
+            "sharding_recoveries_total", "Dead shard workers rebuilt.")
+        self._metric_snapshots = registry.counter(
+            "sharding_snapshots_total", "Snapshots taken by this engine.")
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry holding the engine's ``sharding_*`` metric families."""
+        return self._registry
 
     # ------------------------------------------------------------------ #
     # scatter-gather plumbing
@@ -613,9 +663,29 @@ class ShardedSummary(TemporalGraphSummary):
 
         Measured inside each worker around every call it executes; the
         benchmark harness derives load-imbalance and projected parallel
-        ingest time from these counters.
+        ingest time from these counters.  Each sweep also refreshes the
+        ``sharding_shard_busy_seconds`` gauge.
         """
-        return [worker.busy_seconds() for worker in self._workers]
+        busy = [worker.busy_seconds() for worker in self._workers]
+        for index, seconds in enumerate(busy):
+            self._metric_busy.set(seconds, shard=str(index))
+        return busy
+
+    def shard_stats(self) -> List[Dict[str, float]]:
+        """Per-shard load counters: ``busy_seconds`` and ``calls`` each.
+
+        One reserved-op round trip per worker (see
+        :data:`~repro.core.executor.STATS_OP`); a dead worker contributes
+        zeros.  Each sweep refreshes the ``sharding_shard_busy_seconds``
+        and ``sharding_shard_calls`` gauges, so callers that scrape metrics
+        periodically get fresh per-shard load by calling this first.
+        """
+        stats = [worker.stats() for worker in self._workers]
+        for index, entry in enumerate(stats):
+            self._metric_busy.set(float(entry["busy_seconds"]),
+                                  shard=str(index))
+            self._metric_calls.set(float(entry["calls"]), shard=str(index))
+        return stats
 
     def shard_summaries(self) -> List[TemporalGraphSummary]:
         """The inner summaries, for inspection by tests and analyses.
@@ -699,6 +769,7 @@ class ShardedSummary(TemporalGraphSummary):
             factory=self.factory)
         self._snapshot_items = list(self._shard_items)
         self._last_snapshot_path = path
+        self._metric_snapshots.inc()
         return path
 
     @classmethod
@@ -876,6 +947,7 @@ class ShardedSummary(TemporalGraphSummary):
                 f"migration of shard {shard} failed to load into the new "
                 f"worker: {loaded.error}") from loaded.error
         self._workers[shard] = worker
+        self._metric_migrations.inc()
         # The old worker's state was fully copied; a close failure must
         # not undo a completed migration.
         # repro-lint: ok EXC001 - best-effort close of the replaced worker
@@ -981,6 +1053,7 @@ class ShardedSummary(TemporalGraphSummary):
             else:
                 self._shard_items[shard] = 0
             self._workers[shard] = replacement
+            self._metric_recoveries.inc()
         return dead
 
     # ------------------------------------------------------------------ #

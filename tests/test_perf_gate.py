@@ -44,7 +44,8 @@ class TestCompare:
         rows = check_perf.compare(measured, self.BASELINES, tolerance=0.30)
         failed = [row for row in rows if row["gated"] and not row["ok"]]
         assert [row["metric"] for row in failed] == ["batch_higgs_speedup_x"]
-        assert failed[0]["floor"] == pytest.approx(1.4)
+        assert failed[0]["limit"] == pytest.approx(1.4)
+        assert failed[0]["direction"] == "higher"
 
     def test_missing_gated_metric_fails(self):
         rows = check_perf.compare({"batch_higgs_speedup_x": 2.0},
@@ -52,6 +53,31 @@ class TestCompare:
         missing = [row for row in rows if row["measured"] is None]
         assert [row["metric"] for row in missing] == ["sharded_parallel_x4"]
         assert missing[0]["gated"] and not missing[0]["ok"]
+
+    def test_lower_direction_gates_as_a_ceiling(self):
+        baselines = {"serving_read_p99_p50_x":
+                     {"value": 5.0, "direction": "lower"}}
+        ok_rows = check_perf.compare({"serving_read_p99_p50_x": 6.0},
+                                     baselines, tolerance=0.30)
+        assert ok_rows[0]["ok"]                                  # 6.0 <= 6.5
+        assert ok_rows[0]["limit"] == pytest.approx(6.5)
+        bad_rows = check_perf.compare({"serving_read_p99_p50_x": 7.0},
+                                      baselines, tolerance=0.30)
+        assert not bad_rows[0]["ok"]                             # 7.0 > 6.5
+
+    def test_per_metric_tolerance_overrides_file_wide(self):
+        baselines = {"serving_shed_fraction":
+                     {"value": 0.5, "direction": "lower", "tolerance": 0.1}}
+        rows = check_perf.compare({"serving_shed_fraction": 0.6},
+                                  baselines, tolerance=0.30)
+        # File-wide 30% would allow 0.65; the per-metric 10% caps at 0.55.
+        assert rows[0]["limit"] == pytest.approx(0.55)
+        assert not rows[0]["ok"]
+
+    def test_unknown_direction_rejected(self):
+        baselines = {"some_metric": {"value": 1.0, "direction": "sideways"}}
+        with pytest.raises(ValueError):
+            check_perf.compare({"some_metric": 1.0}, baselines, tolerance=0.3)
 
 
 class TestCommittedBaselines:
@@ -62,12 +88,23 @@ class TestCommittedBaselines:
         assert spec["scale"] > 0
         assert set(spec["metrics"]) == {"batch_higgs_speedup_x",
                                         "sharded_parallel_x4",
-                                        "rebalance_recovery_x"}
-        for entry in spec["metrics"].values():
-            assert entry["value"] > 1.0, "a gated speedup baseline must be >1x"
+                                        "rebalance_recovery_x",
+                                        "serving_read_p99_p50_x",
+                                        "serving_shed_fraction"}
+        for name, entry in spec["metrics"].items():
+            direction = entry.get("direction", "higher")
+            assert direction in ("higher", "lower")
+            if direction == "higher":
+                assert entry["value"] > 1.0, \
+                    "a gated speedup baseline must be >1x"
+        shed = spec["metrics"]["serving_shed_fraction"]
+        assert 0.0 < shed["value"] < 1.0
+        # The ceiling must leave the gate able to trip: shed fraction never
+        # exceeds 1, so baseline * (1 + tolerance) has to stay below it.
+        assert shed["value"] * (1.0 + shed["tolerance"]) < 1.0
 
 
-class TestInjectedSlowdown:
+class TestInjections:
     """The gate must demonstrably fail when the guarded path gets slower."""
 
     def test_injected_slowdown_collapses_batch_speedup(self, monkeypatch):
@@ -95,3 +132,35 @@ class TestInjectedSlowdown:
             f"injected slowdown did not trip the gate: clean "
             f"{clean['batch_higgs_speedup_x']:.2f}x vs slowed "
             f"{slow['batch_higgs_speedup_x']:.2f}x")
+
+    def test_read_tail_injection_is_tail_shaped(self, monkeypatch):
+        # The latency gate's proof relies on the injection hitting only
+        # every READ_TAIL_EVERY-th read: p50 must hold while p99 inflates.
+        from repro.core.higgs import Higgs
+
+        monkeypatch.setattr(Higgs, "query_batch",
+                            lambda self, queries: [0.0])
+        sleeps = []
+        monkeypatch.setattr(check_perf.time, "sleep", sleeps.append)
+        check_perf.inject_read_tail(0.05)
+        for _ in range(2 * check_perf.READ_TAIL_EVERY):
+            assert Higgs.query_batch(None, []) == [0.0]
+        assert sleeps == [0.05, 0.05]
+
+    def test_admission_squeeze_hits_only_drop_policy(self, monkeypatch):
+        from repro.baselines.exact import ExactTemporalGraph
+        from repro.core.config import ServingConfig
+        from repro.serving.engine import ServingEngine
+
+        monkeypatch.setattr(ServingEngine, "__init__",
+                            ServingEngine.__init__)
+        check_perf.inject_admission_squeeze(divisor=32)
+
+        with ServingEngine(ExactTemporalGraph(),
+                           ServingConfig(admission="drop",
+                                         max_pending=4096)) as dropped, \
+                ServingEngine(ExactTemporalGraph(),
+                              ServingConfig(admission="block",
+                                            max_pending=4096)) as blocking:
+            assert dropped.config.max_pending == 128
+            assert blocking.config.max_pending == 4096

@@ -557,3 +557,236 @@ class TestChaosRecovery:
                 # The victim shard holds at least its snapshot prefix.
                 assert sharded.shard_items()[victim] >= \
                     sharded.snapshot_items()[victim]
+
+
+class TestServingMetrics:
+    """The engine's ``serving_*`` metric families track real traffic."""
+
+    def test_counters_follow_traffic(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            for edge in _edges(20):
+                engine.submit_write(edge)
+            queries = [EdgeQuery(f"s{i % 11}", f"d{i % 7}", 0, 100)
+                       for i in range(5)]
+            futures = [engine.submit_query(query) for query in queries]
+            engine.run_maintenance(lambda s: None).result(30)
+            assert engine.flush(timeout=30)
+            for future in futures:
+                future.result(30)
+
+            registry = engine.metrics
+            requests = registry.get("serving_requests_total")
+            assert requests.value(kind="write") == 20.0
+            assert requests.value(kind="read") == 5.0
+            assert requests.value(kind="maintenance") == 1.0
+            assert registry.get("serving_edges_inserted_total").value() == 20.0
+            assert registry.get("serving_maintenance_total").value() == 1.0
+            epochs = registry.get("serving_epochs_total").value()
+            assert 1.0 <= epochs <= 20.0
+            assert epochs == float(engine.epoch)
+            # Every committed epoch contributed one coalescing-size sample.
+            assert registry.get("serving_epoch_edges").count() == epochs
+            assert registry.get("serving_queue_depth_peak").value() >= 1.0
+
+    def test_queue_depth_gauges_are_live(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            release = threading.Event()
+            gate = engine.run_maintenance(lambda s: release.wait(10))
+            deadline = time.time() + 10
+            while engine.stats()["inflight"] == 0 and time.time() < deadline:
+                time.sleep(0.001)
+            blocked = engine.submit_write(_edges(3))
+            depth = engine.metrics.get("serving_queue_depth")
+            inflight = engine.metrics.get("serving_inflight")
+            assert depth.value() >= 1.0  # the gated write is visibly queued
+            assert inflight.value() >= 1.0
+            release.set()
+            gate.result(30)
+            blocked.result(30)
+            assert engine.flush(timeout=30)
+            assert depth.value() == 0.0
+            assert inflight.value() == 0.0
+
+    def test_dropped_counter_under_drop_policy(self):
+        config = ServingConfig(admission="drop", max_pending=2)
+        with ServingEngine(ExactTemporalGraph(), config) as engine:
+            release = threading.Event()
+            gate = engine.run_maintenance(lambda s: release.wait(10))
+            admitted, dropped = [], 0
+            for edge in _edges(30):
+                try:
+                    admitted.append(engine.submit_write(edge))
+                except ServingError:
+                    dropped += 1
+            release.set()
+            gate.result(30)
+            assert engine.flush(timeout=30)
+            assert dropped >= 1
+            registry = engine.metrics
+            assert registry.get("serving_dropped_total").value() == \
+                float(dropped)
+            assert engine.stats()["dropped"] == dropped
+
+    def test_failed_counter_on_failed_epoch(self):
+        class ExplodingSummary(ExactTemporalGraph):
+            def insert_batch(self, edges):
+                raise RuntimeError("disk on fire")
+
+        with ServingEngine(ExplodingSummary()) as engine:
+            future = engine.submit_write(_edges(1))
+            with pytest.raises(RuntimeError):
+                future.result(30)
+            assert engine.flush(timeout=30)
+            assert engine.metrics.get("serving_failed_total").value() == 1.0
+
+    def test_latency_tracker_folded_into_registry(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            engine.submit_write(_edges(1)[0]).result(30)
+            histogram = engine.metrics.get("serving_latency_seconds")
+            assert histogram is not None
+            assert histogram.count(kind="write") == 1
+            report = engine.stats()["latency"]
+            assert report["write"]["count"] == 1
+
+    def test_render_prometheus_exposes_the_families(self):
+        with ServingEngine(ExactTemporalGraph()) as engine:
+            engine.submit_write(_edges(2)).result(30)
+            text = engine.render_prometheus()
+            assert "# TYPE serving_queue_depth gauge" in text
+            # One admitted request carrying a two-edge batch.
+            assert 'serving_requests_total{kind="write"} 1' in text
+            assert "serving_edges_inserted_total 2" in text
+            assert "# TYPE serving_latency_seconds summary" in text
+
+    def test_caller_provided_registry_is_used(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with ServingEngine(ExactTemporalGraph(), registry=registry) as engine:
+            assert engine.metrics is registry
+            engine.submit_write(_edges(1)[0]).result(30)
+        assert registry.get("serving_requests_total").value(kind="write") == 1.0
+
+
+class TestAdaptiveEpochSizing:
+    """Closed-loop stress: queue depth drives the write-epoch cap."""
+
+    CONFIG = dict(adaptive_epochs=True, min_epoch_size=4, max_epoch_size=16,
+                  max_batch_writes=1024, max_pending=32,
+                  queue_high_fraction=0.5, queue_low_fraction=0.125,
+                  epoch_cooldown_rounds=3)
+
+    @staticmethod
+    def _gated_backlog(engine, n):
+        """Hold the scheduler on a maintenance gate while ``n`` writes pile
+        up behind it, then release — the next round observes the full
+        backlog at once."""
+        started, release = threading.Event(), threading.Event()
+
+        def gate(summary):
+            started.set()
+            release.wait(10)
+
+        maintenance = engine.run_maintenance(gate)
+        assert started.wait(10)
+        futures = [engine.submit_write(edge) for edge in _edges(n)]
+        release.set()
+        maintenance.result(30)
+        return futures
+
+    def test_fixed_engine_never_moves_the_cap(self):
+        with ServingEngine(ExactTemporalGraph(),
+                           ServingConfig(max_batch_writes=8)) as engine:
+            assert engine.stats()["epoch_limit"] == 8
+            for future in self._gated_backlog(engine, 20):
+                future.result(30)
+            assert engine.stats()["epoch_limit"] == 8
+
+    def test_deep_queue_widens_then_quiet_traffic_narrows(self):
+        with ServingEngine(ExactTemporalGraph(),
+                           ServingConfig(**self.CONFIG)) as engine:
+            assert engine.stats()["epoch_limit"] == 4  # starts at min
+
+            # Each saturated backlog (16/32 >= high fraction) is one deep
+            # observation -> one immediate doubling: 4 -> 8 -> 16.
+            for expected in (8, 16):
+                futures = self._gated_backlog(engine, 16)
+                for future in futures:
+                    future.result(30)
+                assert engine.flush(timeout=30)
+                assert engine.stats()["epoch_limit"] == expected
+
+            # Quiet traffic: single awaited writes keep depth at 1/32,
+            # below the low fraction.  Every cooldown_rounds-th quiet round
+            # halves the cap until it rests at min and stays there.
+            for edge in _edges(6 * self.CONFIG["epoch_cooldown_rounds"],
+                               offset=100):
+                engine.submit_write(edge).result(30)
+            assert engine.stats()["epoch_limit"] == 4
+            gauge = engine.metrics.get("serving_epoch_limit")
+            assert gauge.value() == 4.0
+
+    def test_wide_epochs_actually_coalesce_wider(self):
+        with ServingEngine(ExactTemporalGraph(),
+                           ServingConfig(**self.CONFIG)) as engine:
+            for _ in range(2):
+                for future in self._gated_backlog(engine, 16):
+                    future.result(30)
+            assert engine.flush(timeout=30)
+            histogram = engine.metrics.get("serving_epoch_edges")
+            report = histogram.report()
+            # At least one committed epoch coalesced past the fixed minimum.
+            assert report["p99"] > self.CONFIG["min_epoch_size"]
+
+
+class TestBurstyWorkloadGenerator:
+    def _stream(self):
+        return generate_stream(StreamSpec(num_vertices=50, num_edges=2_000,
+                                          time_span=1_000, seed=3,
+                                          name="bursty-src"))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"burst_factor": 0.5},
+        {"burst_factor": 4.0},  # bursty but arrival stays "closed"
+        {"arrival": "open", "rate_rps": 100.0, "burst_factor": 4.0},
+        {"arrival": "open", "rate_rps": 100.0, "burst_factor": 4.0,
+         "burst_period_s": 1.0, "burst_duty": 1.0},
+    ])
+    def test_invalid_burst_specs_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            MixedWorkloadSpec(num_requests=10, **kwargs).validate()
+
+    def test_bursty_arrivals_deterministic_and_monotone(self):
+        stream = self._stream()
+        spec = MixedWorkloadSpec(num_requests=400, arrival="open",
+                                 rate_rps=200.0, burst_factor=8.0,
+                                 burst_period_s=0.5, burst_duty=0.25, seed=7)
+        ops_a = generate_mixed_workload(stream, spec)
+        ops_b = generate_mixed_workload(stream, spec)
+        assert [op.arrival_s for op in ops_a] == \
+            [op.arrival_s for op in ops_b]
+        arrivals = [op.arrival_s for op in ops_a]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_burst_windows_carry_excess_arrival_mass(self):
+        stream = self._stream()
+        spec = MixedWorkloadSpec(num_requests=1_000, arrival="open",
+                                 rate_rps=100.0, burst_factor=10.0,
+                                 burst_period_s=1.0, burst_duty=0.25, seed=7)
+        ops = generate_mixed_workload(stream, spec)
+        in_window = sum(1 for op in ops
+                        if (op.arrival_s % spec.burst_period_s) <
+                        spec.burst_period_s * spec.burst_duty)
+        # 25% duty at 10x rate: the burst window should hold the majority
+        # of arrivals (10*0.25 / (10*0.25 + 0.75) ~ 77%), far above the
+        # ~25% a homogeneous process would put there.
+        assert in_window / len(ops) > 0.5
+
+    def test_homogeneous_default_keeps_uniform_rate(self):
+        stream = self._stream()
+        spec = MixedWorkloadSpec(num_requests=1_000, arrival="open",
+                                 rate_rps=100.0, seed=7)
+        ops = generate_mixed_workload(stream, spec)
+        arrivals = [op.arrival_s for op in ops]
+        in_window = sum(1 for t in arrivals if (t % 1.0) < 0.25)
+        assert 0.15 < in_window / len(arrivals) < 0.35

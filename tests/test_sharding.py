@@ -416,3 +416,91 @@ class TestAsyncBatchInterleaveGuard:
         with self._engine() as engine:
             assert engine.insert_batch_async([]) is None
             engine.quiesce(timeout=5.0)  # nothing pending; must not raise
+
+
+class TestShardingMetrics:
+    """The engine's ``sharding_*`` metric families track real shard state."""
+
+    def test_items_gauge_tracks_acknowledged_inserts(self):
+        with ShardedSummary(_factory(), shards=3, executor="thread") as sharded:
+            for i in range(30):
+                sharded.insert(f"s{i % 7}", f"d{i % 5}", 1.0, i)
+            items = sharded.metrics.get("sharding_shard_items")
+            per_shard = [items.value(shard=str(s)) for s in range(3)]
+            assert sum(per_shard) == 30.0
+            assert per_shard == [float(n) for n in sharded.shard_items()]
+
+    def test_shard_stats_sweep_refreshes_load_gauges(self):
+        with ShardedSummary(_factory(), shards=2, executor="thread") as sharded:
+            for i in range(20):
+                sharded.insert(f"s{i}", f"d{i}", 1.0, i)
+            stats = sharded.shard_stats()
+            assert all(set(entry) == {"busy_seconds", "calls"}
+                       for entry in stats)
+            assert sum(entry["calls"] for entry in stats) >= 20
+            busy = sharded.metrics.get("sharding_shard_busy_seconds")
+            calls = sharded.metrics.get("sharding_shard_calls")
+            for shard, entry in enumerate(stats):
+                assert busy.value(shard=str(shard)) == entry["busy_seconds"]
+                assert calls.value(shard=str(shard)) == float(entry["calls"])
+
+    def test_migration_and_snapshot_counters(self, tmp_path):
+        with ShardedSummary(
+                _factory(), shards=2, executor="thread",
+                snapshot=SnapshotConfig(directory=str(tmp_path))) as sharded:
+            sharded.insert("a", "b", 1.0, 5)
+            registry = sharded.metrics
+            assert registry.get("sharding_migrations_total").value() == 0.0
+            sharded.migrate_shard(0, executor="serial")
+            assert registry.get("sharding_migrations_total").value() == 1.0
+            sharded.snapshot()
+            assert registry.get("sharding_snapshots_total").value() == 1.0
+            # Nothing died: a recovery sweep is a no-op and counts nothing.
+            assert sharded.recover_dead_shards() == []
+            assert registry.get("sharding_recoveries_total").value() == 0.0
+
+    def test_caller_provided_registry_shared_with_serving(self):
+        from repro.observability import MetricsRegistry
+        from repro.serving import ServingEngine
+
+        registry = MetricsRegistry()
+        with ShardedSummary(_factory(), shards=2, executor="thread",
+                            registry=registry) as sharded, \
+                ServingEngine(sharded, registry=registry) as engine:
+            engine.submit_write(StreamEdge("a", "b", 1.0, 5)).result(30)
+            assert sharded.metrics is registry
+            text = registry.render_prometheus()
+            # One dashboard covers both layers.
+            assert "sharding_shard_items" in text
+            assert "serving_epochs_total 1" in text
+
+
+class TestWorkerStats:
+    def test_worker_stats_round_trip(self):
+        worker = make_shard_worker("thread", _factory(), name="stats-probe")
+        try:
+            assert worker.stats() == {"busy_seconds": 0.0, "calls": 0}
+            result = worker.call("insert", "a", "b", 1.0, 5)
+            assert result.ok
+            stats = worker.stats()
+            assert stats["calls"] == 1
+            assert stats["busy_seconds"] >= 0.0
+            # The reserved stats op itself never counts toward load.
+            assert worker.stats()["calls"] == 1
+        finally:
+            worker.close()
+
+    @pytest.mark.faultinject
+    def test_dead_worker_reports_zeros(self):
+        from faultinject import kill_inner_process
+
+        worker = make_shard_worker("process", _factory(), name="dead-probe")
+        try:
+            assert worker.call("insert", "a", "b", 1.0, 5).ok
+            kill_inner_process(worker)
+            assert not worker.alive()
+            # A metrics sweep over a pool with a crashed shard must still
+            # complete: the dead worker contributes zeros, not an exception.
+            assert worker.stats() == {"busy_seconds": 0.0, "calls": 0}
+        finally:
+            worker.close()

@@ -35,6 +35,7 @@ DOCUMENTED_PATHS = (
     REPO_ROOT / "src" / "repro" / "summary.py",
     REPO_ROOT / "src" / "repro" / "sharding",
     REPO_ROOT / "src" / "repro" / "serving",
+    REPO_ROOT / "src" / "repro" / "observability",
 )
 
 

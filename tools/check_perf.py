@@ -2,18 +2,27 @@
 """Performance-regression gate: re-measure the smoke benchmarks, compare.
 
 The repository's performance wins are ratios — the batch ingest path is
-≥2× the per-item path (PR 1), and the 4-shard engine projects well over 1×
-the single-shard ingest throughput (PR 2).  This tool re-runs the ``batch``
-and ``sharded`` smoke benchmarks at a small fixed scale, extracts those
-ratio metrics, and fails when any of them regressed more than the committed
-tolerance below its baseline (``benchmarks/baselines.json``).
+≥2× the per-item path (PR 1), the 4-shard engine projects well over 1×
+the single-shard ingest throughput (PR 2), and live rebalancing recovers
+~3× of a hot shard's projected throughput (PR 7).  Since the observability
+layer landed, **latency behavior is gated too**: the serving engine's read
+p99/p50 inflation at the 8-client 0.9-read-ratio row and the shed fraction
+under the fixed open-loop overload row, both sourced from the engine's
+metric snapshots.  This tool re-runs the smoke benchmarks at a small fixed
+scale, extracts those ratio metrics, and fails when any of them regressed
+more than its tolerance past its committed baseline
+(``benchmarks/baselines.json``).
 
 Only **ratio** metrics are gated.  Absolute throughputs (also measured and
 written to the report for the CI artifact) vary several-fold across runner
 hardware, so gating them would make the job flaky on fast runners and
 useless on slow ones; the ratios cancel the hardware out while still
 catching the regressions that matter (a broken batch fast path collapses
-the speedup to ~1× no matter the machine).
+the speedup to ~1× no matter the machine; a read path that grew a tail
+inflates p99 over p50 on any hardware).  Throughput-style metrics are
+"higher is better"; the serving latency/shedding ratios declare
+``"direction": "lower"`` in the baselines file (and a wider per-metric
+``"tolerance"``, since queue dynamics are noisier than batch speedups).
 
 Usage::
 
@@ -21,11 +30,20 @@ Usage::
     PYTHONPATH=src python tools/check_perf.py --update        # refresh baselines
     PYTHONPATH=src python tools/check_perf.py --inject-slowdown 0.01
                                                               # prove the gate trips
+    PYTHONPATH=src python tools/check_perf.py --inject-read-tail 0.05
+                                                              # prove p99/p50 trips
+    PYTHONPATH=src python tools/check_perf.py --inject-admission-squeeze
+                                                              # prove shedding trips
 
-``--inject-slowdown S`` monkeypatches a ``sleep(S)`` into every
-``Higgs.insert_batch`` call before measuring — a real slowdown of the guarded
-fast path, used to verify locally (and in code review) that the gate actually
-fails when performance regresses.
+The injection flags plant a *real* regression before measuring, verifying
+end-to-end that the gate fails when the guarded behavior degrades:
+``--inject-slowdown S`` sleeps in every ``Higgs.insert_batch`` (collapses
+the batch speedup), ``--inject-read-tail S`` sleeps in every 20th
+``Higgs.query_batch`` (a tail-only read regression — p50 holds, p99
+inflates, exactly the failure uniform slowdowns cannot expose because the
+overload row re-calibrates its offered rate from the same run's measured
+capacity), and ``--inject-admission-squeeze`` shrinks the drop-policy
+admission queue 32× (excess shedding under the same offered load).
 
 Exit status: 0 when every gated metric is within tolerance, 1 on regression,
 2 on a malformed baselines file.
@@ -43,6 +61,21 @@ from typing import Dict, List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines.json"
 DEFAULT_REPORT = REPO_ROOT / "results" / "perf_check.json"
+
+#: The gated metrics and the baseline attributes ``--update`` writes for
+#: each.  The throughput ratios are "higher is better" under the file-wide
+#: tolerance; the serving latency/shedding ratios declare
+#: ``direction: lower`` plus a wider per-metric tolerance, because queue
+#: dynamics on a busy runner are noisier than deterministic batch math but
+#: a real regression (tail growth, shrunken admission) overshoots far past
+#: even the wide band (see the ``--inject-*`` flags).
+GATED_METRICS: Dict[str, dict] = {
+    "batch_higgs_speedup_x": {},
+    "sharded_parallel_x4": {},
+    "rebalance_recovery_x": {},
+    "serving_read_p99_p50_x": {"direction": "lower", "tolerance": 1.0},
+    "serving_shed_fraction": {"direction": "lower", "tolerance": 0.35},
+}
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
@@ -64,6 +97,57 @@ def inject_slowdown(seconds_per_batch: float) -> None:
     Higgs.insert_batch = slowed
 
 
+#: Every Nth ``Higgs.query_batch`` call is slowed by ``--inject-read-tail``
+#: — rare enough to leave p50 alone, frequent enough to own p99.
+READ_TAIL_EVERY = 20
+
+
+def inject_read_tail(seconds_per_batch: float) -> None:
+    """Slow every :data:`READ_TAIL_EVERY`-th ``Higgs.query_batch`` call.
+
+    A tail-only read regression: most read rounds stay fast (p50 holds)
+    while the slowed ones inflate p99, so the gated ``serving_read_p99_p50_x``
+    ratio moves.  A *uniform* read slowdown would shift p50 and p99
+    together and leave the ratio flat — which is why the latency gate needs
+    this tail-shaped injection to prove it trips.
+    """
+    from repro.core.higgs import Higgs
+    original = Higgs.query_batch
+    calls = [0]
+
+    def tailed(self, queries):
+        calls[0] += 1
+        if calls[0] % READ_TAIL_EVERY == 0:
+            time.sleep(seconds_per_batch)
+        return original(self, queries)
+
+    Higgs.query_batch = tailed
+
+
+def inject_admission_squeeze(divisor: int = 32) -> None:
+    """Shrink every drop-policy serving engine's admission queue ``divisor``×.
+
+    The overload row offers ~3× the same run's measured closed-loop rate,
+    so uniform slowdowns self-normalize out of the shed fraction; what the
+    ``serving_shed_fraction`` gate actually guards is the admission
+    capacity/policy itself.  Squeezing ``max_pending`` is that regression:
+    the same offered load now sheds far more.  Blocking-policy engines
+    (the closed-loop rows) are left untouched.
+    """
+    import dataclasses
+
+    from repro.serving.engine import ServingEngine
+    original = ServingEngine.__init__
+
+    def squeezed(self, summary, config=None, **kwargs):
+        if config is not None and config.admission == "drop":
+            config = dataclasses.replace(
+                config, max_pending=max(1, config.max_pending // divisor))
+        original(self, summary, config, **kwargs)
+
+    ServingEngine.__init__ = squeezed
+
+
 def run_measurements(scale: float) -> Dict[str, float]:
     """Run the smoke benchmarks; return every metric (gated and informational).
 
@@ -80,13 +164,23 @@ def run_measurements(scale: float) -> Dict[str, float]:
       counters, so it cannot flake on timing noise; a broken
       ``rebalance()`` path collapses it to ~1×.
 
+    * ``serving_read_p99_p50_x`` — read p99/p50 latency inflation of the
+      8-client 0.9-read-ratio closed-loop serving row, from the engine's
+      latency histogram (the PR 8 latency contract).  Direction **lower**:
+      a read path that grew a tail fails it on any hardware.
+    * ``serving_shed_fraction`` — requests shed at admission under the
+      open-loop overload row (offered ≈ 3× the same run's measured
+      capacity, small drop-policy queue).  Direction **lower**: guards the
+      admission capacity and drop policy.
+
     Informational absolute metrics (reported, not gated):
     ``batch_higgs_eps``, ``batch_higgs_per_item_eps``,
     ``sharded_wall_eps_1``, ``rebalance_measured_x``,
-    ``rebalance_recover_s``.
+    ``rebalance_recover_s``, ``serving_req_per_s``, ``serving_read_p99_ms``,
+    ``serving_burst_fixed_p99_ms``, ``serving_burst_adaptive_p99_ms``.
     """
     from repro.bench.experiments import (run_batch_speedup, run_rebalance,
-                                         run_sharded_scaling)
+                                         run_serving, run_sharded_scaling)
 
     batch_rows = run_batch_speedup(methods=("HIGGS",), scale=scale)
     higgs = next(row for row in batch_rows if row["method"] == "HIGGS")
@@ -101,6 +195,15 @@ def run_measurements(scale: float) -> Dict[str, float]:
                       if row["phase"] == "rebalanced")
     recovery = next(row for row in rebalance_rows
                     if row["figure"] == "rebalance-recovery")
+
+    serving_rows = run_serving(scale=scale, read_ratios=(0.9,),
+                               client_counts=(8,))
+    closed = next(row for row in serving_rows if row["figure"] == "serving")
+    overload = next(row for row in serving_rows
+                    if row["figure"] == "serving-open")
+    burst = {row["policy"].split("-")[0]: row for row in serving_rows
+             if row["figure"] == "serving-burst"}
+    offered = float(overload["requests"]) + float(overload["dropped"])
     return {
         "batch_higgs_speedup_x": float(higgs["speedup"]),
         "batch_higgs_eps": float(higgs["batch_eps"]),
@@ -110,6 +213,13 @@ def run_measurements(scale: float) -> Dict[str, float]:
         "rebalance_recovery_x": float(rebalanced["recovery_x"]),
         "rebalance_measured_x": float(rebalanced["measured_x"]),
         "rebalance_recover_s": float(recovery["recover_s"]),
+        "serving_read_p99_p50_x": (float(closed["read_p99_ms"]) /
+                                   max(1e-9, float(closed["read_p50_ms"]))),
+        "serving_shed_fraction": float(overload["dropped"]) / max(1.0, offered),
+        "serving_req_per_s": float(closed["req_per_s"]),
+        "serving_read_p99_ms": float(closed["read_p99_ms"]),
+        "serving_burst_fixed_p99_ms": float(burst["fixed"]["p99_ms"]),
+        "serving_burst_adaptive_p99_ms": float(burst["adaptive"]["p99_ms"]),
     }
 
 
@@ -117,27 +227,46 @@ def compare(measured: Dict[str, float], baselines: Dict[str, dict],
             tolerance: float) -> List[Dict[str, object]]:
     """Compare measured metrics against baselines; return one row per metric.
 
-    Every baselined metric is "higher is better"; a metric regresses when
-    ``measured < baseline * (1 - tolerance)``.  Metrics present in the
-    measurement but absent from the baselines (the informational ones) are
-    reported with ``gated = False`` and never fail.
+    A baselined metric defaults to "higher is better" with the file-wide
+    ``tolerance``: it regresses when ``measured < baseline * (1 - tol)``.
+    An entry may declare ``"direction": "lower"`` (regresses when
+    ``measured > baseline * (1 + tol)`` — latency inflation, shed fraction)
+    and/or a per-metric ``"tolerance"`` overriding the file-wide one.  Each
+    row's ``limit`` is the pass/fail boundary in the metric's own direction.
+    Metrics present in the measurement but absent from the baselines (the
+    informational ones) are reported with ``gated = False`` and never fail.
     """
     rows: List[Dict[str, object]] = []
     for name, value in sorted(measured.items()):
         entry = baselines.get(name)
         if entry is None:
             rows.append({"metric": name, "measured": value, "baseline": None,
-                         "floor": None, "gated": False, "ok": True})
+                         "limit": None, "direction": None, "gated": False,
+                         "ok": True})
             continue
         baseline = float(entry["value"])
-        floor = baseline * (1.0 - tolerance)
+        direction = str(entry.get("direction", "higher"))
+        if direction not in ("higher", "lower"):
+            raise ValueError(f"metric {name!r}: unknown direction "
+                             f"{direction!r} (want 'higher' or 'lower')")
+        tol = float(entry.get("tolerance", tolerance))
+        if direction == "lower":
+            limit = baseline * (1.0 + tol)
+            ok = value <= limit
+        else:
+            limit = baseline * (1.0 - tol)
+            ok = value >= limit
         rows.append({"metric": name, "measured": value, "baseline": baseline,
-                     "floor": floor, "gated": True, "ok": value >= floor})
+                     "limit": limit, "direction": direction, "gated": True,
+                     "ok": ok})
     missing = sorted(set(baselines) - set(measured))
     for name in missing:
         rows.append({"metric": name, "measured": None,
                      "baseline": float(baselines[name]["value"]),
-                     "floor": None, "gated": True, "ok": False})
+                     "limit": None,
+                     "direction": str(baselines[name].get("direction",
+                                                          "higher")),
+                     "gated": True, "ok": False})
     return rows
 
 
@@ -159,6 +288,14 @@ def main(argv: List[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="slow every Higgs.insert_batch by SECONDS first "
                              "(verifies the gate trips)")
+    parser.add_argument("--inject-read-tail", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help=f"slow every {READ_TAIL_EVERY}th "
+                             f"Higgs.query_batch by SECONDS first (verifies "
+                             f"the p99/p50 latency gate trips)")
+    parser.add_argument("--inject-admission-squeeze", action="store_true",
+                        help="shrink the drop-policy admission queue 32x "
+                             "first (verifies the shed-fraction gate trips)")
     args = parser.parse_args(argv)
 
     try:
@@ -167,6 +304,12 @@ def main(argv: List[str] | None = None) -> int:
         scale = float(args.scale if args.scale is not None else spec["scale"])
         tolerance = float(args.tolerance if args.tolerance is not None
                           else spec["tolerance"])
+        for name, entry in gated.items():
+            float(entry["value"])
+            if str(entry.get("direction", "higher")) not in ("higher",
+                                                             "lower"):
+                raise ValueError(f"metric {name!r}: unknown direction "
+                                 f"{entry['direction']!r}")
     except FileNotFoundError:
         if not args.update:
             print(f"error: baselines file {args.baselines} not found "
@@ -184,19 +327,26 @@ def main(argv: List[str] | None = None) -> int:
         inject_slowdown(args.inject_slowdown)
         print(f"injected {args.inject_slowdown * 1e3:.1f} ms slowdown per "
               f"Higgs.insert_batch call")
+    if args.inject_read_tail > 0:
+        inject_read_tail(args.inject_read_tail)
+        print(f"injected {args.inject_read_tail * 1e3:.1f} ms tail per "
+              f"{READ_TAIL_EVERY}th Higgs.query_batch call")
+    if args.inject_admission_squeeze:
+        inject_admission_squeeze()
+        print("injected 32x admission-queue squeeze on drop-policy engines")
 
     print(f"measuring smoke benchmarks at scale {scale} "
           f"(tolerance {tolerance:.0%}) ...")
     measured = run_measurements(scale)
 
     if args.update:
-        gated_names = ("batch_higgs_speedup_x", "sharded_parallel_x4",
-                       "rebalance_recovery_x")
         spec = {
             "scale": scale,
             "tolerance": tolerance,
-            "metrics": {name: {"value": round(measured[name], 4)}
-                        for name in gated_names},
+            "metrics": {
+                name: {"value": round(measured[name], 4), **extras}
+                for name, extras in GATED_METRICS.items()
+            },
         }
         args.baselines.parent.mkdir(parents=True, exist_ok=True)
         args.baselines.write_text(json.dumps(spec, indent=2) + "\n",
@@ -211,9 +361,10 @@ def main(argv: List[str] | None = None) -> int:
     for row in rows:
         flag = "  " if row["ok"] else "✗ "
         kind = "gated" if row["gated"] else "info "
+        bound = "<=" if row["direction"] == "lower" else ">="
         baseline = (f"baseline {row['baseline']:.3f} "
-                    f"floor {row['floor']:.3f}" if row["floor"] is not None
-                    else "")
+                    f"want {bound} {row['limit']:.3f}"
+                    if row["limit"] is not None else "")
         value = ("missing" if row["measured"] is None
                  else f"{row['measured']:.3f}")
         print(f"{flag}[{kind}] {str(row['metric']).ljust(width)} "
