@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Final, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -119,10 +119,11 @@ class HiggsConfig:
 
 
 #: Executor modes accepted by :class:`ShardingConfig`.
-SHARD_EXECUTORS = ("serial", "thread", "process", "auto")
+SHARD_EXECUTORS: Final[Tuple[str, ...]] = ("serial", "thread", "process",
+                                           "auto")
 
 #: Partition-key modes accepted by :class:`ShardingConfig`.
-SHARD_PARTITION_MODES = ("source", "edge")
+SHARD_PARTITION_MODES: Final[Tuple[str, ...]] = ("source", "edge")
 
 
 @dataclass(frozen=True, slots=True)
@@ -214,7 +215,7 @@ class SnapshotConfig:
 
 
 #: Admission policies accepted by :class:`ServingConfig`.
-SERVING_ADMISSION_POLICIES = ("block", "drop")
+SERVING_ADMISSION_POLICIES: Final[Tuple[str, ...]] = ("block", "drop")
 
 
 @dataclass(frozen=True, slots=True)

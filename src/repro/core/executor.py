@@ -275,7 +275,7 @@ def _apply_reserved(holder: Any, method: str, args: Tuple,
         return ShardResult(True, busy[0])
     if method == STATS_OP:
         return ShardResult(True, {"busy_seconds": busy[0],
-                                  "calls": int(busy[1])})
+                                  "calls": busy[1]})
     if method == DRAIN_OP:
         return ShardResult(True, None)
     if method == SERIALIZE_OP:

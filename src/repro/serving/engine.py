@@ -360,18 +360,25 @@ class ServingEngine:
         """Coerce a write payload into a non-empty list of stream items."""
         if isinstance(edges, StreamEdge):
             return [edges]
-        if isinstance(edges, tuple) and len(edges) == 4 and \
-                not isinstance(edges[0], StreamEdge):
-            source, destination, weight, timestamp = edges
-            return [StreamEdge(source, destination, float(weight), int(timestamp))]
-        normalized: List[StreamEdge] = []
-        for item in edges:
-            if isinstance(item, StreamEdge):
-                normalized.append(item)
-            else:
-                source, destination, weight, timestamp = item
-                normalized.append(StreamEdge(source, destination,
-                                             float(weight), int(timestamp)))
+        # The payload is caller-supplied; a malformed item must surface as
+        # ServingError, not a bare ValueError/TypeError (ERR002).
+        try:
+            if isinstance(edges, tuple) and len(edges) == 4 and \
+                    not isinstance(edges[0], StreamEdge):
+                source, destination, weight, timestamp = edges
+                return [StreamEdge(source, destination,
+                                   float(weight), int(timestamp))]
+            normalized: List[StreamEdge] = []
+            for item in edges:
+                if isinstance(item, StreamEdge):
+                    normalized.append(item)
+                else:
+                    source, destination, weight, timestamp = item
+                    normalized.append(StreamEdge(source, destination,
+                                                 float(weight), int(timestamp)))
+        except (TypeError, ValueError) as exc:
+            raise ServingError(
+                f"malformed stream item in write payload: {exc}") from exc
         if not normalized:
             raise ServingError("a write request needs at least one stream item")
         return normalized

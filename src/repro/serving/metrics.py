@@ -73,6 +73,6 @@ class LatencyTracker:
         for series, entry in self._histogram.snapshot()["values"].items():
             kind = str(series).split("=", 1)[1]
             kind_report = dict(self.percentiles(kind))
-            kind_report["count"] = float(entry["count"])
+            kind_report["count"] = entry["count"]
             report[kind] = kind_report
         return report

@@ -682,9 +682,17 @@ class ShardedSummary(TemporalGraphSummary):
         """
         stats = [worker.stats() for worker in self._workers]
         for index, entry in enumerate(stats):
-            self._metric_busy.set(float(entry["busy_seconds"]),
-                                  shard=str(index))
-            self._metric_calls.set(float(entry["calls"]), shard=str(index))
+            try:
+                busy = float(entry["busy_seconds"])
+                calls = float(entry["calls"])
+            except (TypeError, ValueError) as exc:
+                # Stats cross a pipe from worker processes; malformed data
+                # is a shard fault, not a caller error (ERR002).
+                raise ShardingError(
+                    f"shard {index} returned malformed stats "
+                    f"{entry!r}") from exc
+            self._metric_busy.set(busy, shard=str(index))
+            self._metric_calls.set(calls, shard=str(index))
         return stats
 
     def shard_summaries(self) -> List[TemporalGraphSummary]:
@@ -816,12 +824,14 @@ class ShardedSummary(TemporalGraphSummary):
             raise SnapshotError(
                 f"snapshot at {path!r} does not embed its shard factory "
                 f"(it was not picklable when written); pass factory=")
+        # Field types were validated by read_manifest (SnapshotError on a
+        # malformed manifest), so no further coercion here.
         config = ShardingConfig(
-            num_shards=int(body["num_shards"]),
+            num_shards=body["num_shards"],
             partition_by=str(body["partition_by"]),
             executor=str(executor if executor is not None else body["executor"]),
-            batch_size=int(body["batch_size"]),
-            hash_seed=int(body["hash_seed"]))
+            batch_size=body["batch_size"],
+            hash_seed=body["hash_seed"])
         engine = cls(factory, config=config, snapshot=policy)
         try:
             engine._load_snapshot_payloads(str(path), body)
@@ -855,14 +865,14 @@ class ShardedSummary(TemporalGraphSummary):
         body = snapshot_format.read_manifest(
             path, verify=self._snapshot_config.verify_checksums)
         mismatches = []
-        if int(body["num_shards"]) != self.num_shards:
+        if body["num_shards"] != self.num_shards:
             mismatches.append(
                 f"num_shards {body['num_shards']} != {self.num_shards}")
         if str(body["partition_by"]) != self.config.partition_by:
             mismatches.append(
                 f"partition_by {body['partition_by']!r} != "
                 f"{self.config.partition_by!r}")
-        if int(body["hash_seed"]) != self.config.hash_seed:
+        if body["hash_seed"] != self.config.hash_seed:
             mismatches.append(
                 f"hash_seed {body['hash_seed']} != {self.config.hash_seed}")
         if mismatches:
@@ -886,7 +896,7 @@ class ShardedSummary(TemporalGraphSummary):
         # State is swapped only after every shard loaded successfully, so a
         # failed restore leaves routing consistent with the untouched shards.
         self._partitioner = ShardPartitioner.from_state(state)
-        self._shard_items = [int(entry["items"]) for entry in body["shards"]]
+        self._shard_items = [entry["items"] for entry in body["shards"]]
         self._snapshot_items = list(self._shard_items)
         self._last_snapshot_path = path
 
@@ -977,24 +987,27 @@ class ShardedSummary(TemporalGraphSummary):
                 "rebalance with key reassignments requires "
                 "partition_by='source'")
         for vertex, target in plan.reassign.items():
-            if not 0 <= int(target) < self.num_shards:
+            if not isinstance(target, int) or \
+                    not 0 <= target < self.num_shards:
                 raise ShardingError(
-                    f"rebalance target shard {target} for vertex {vertex!r} "
-                    f"out of range [0, {self.num_shards})")
-        for shard, mode in plan.migrate.items():
-            if not 0 <= int(shard) < self.num_shards:
-                raise ShardingError(
-                    f"rebalance migration shard {shard} out of range "
+                    f"rebalance target shard {target!r} for vertex "
+                    f"{vertex!r} is not an integer or out of range "
                     f"[0, {self.num_shards})")
+        for shard, mode in plan.migrate.items():
+            if not isinstance(shard, int) or \
+                    not 0 <= shard < self.num_shards:
+                raise ShardingError(
+                    f"rebalance migration shard {shard!r} is not an "
+                    f"integer or out of range [0, {self.num_shards})")
             if mode not in SHARD_EXECUTORS:
                 raise ShardingError(
                     f"rebalance migration executor {mode!r} must be one of "
                     f"{SHARD_EXECUTORS}")
         self.quiesce()
         for vertex, target in plan.reassign.items():
-            self._partitioner.reassign(vertex, int(target))
+            self._partitioner.reassign(vertex, target)
         for shard, mode in plan.migrate.items():
-            self.migrate_shard(int(shard), executor=str(mode))
+            self.migrate_shard(shard, executor=str(mode))
 
     def recover_dead_shards(self) -> List[int]:
         """Rebuild every dead worker; return the recovered shard indices.
@@ -1049,7 +1062,7 @@ class ShardedSummary(TemporalGraphSummary):
                     raise ShardingError(
                         f"recovery of shard {shard} failed to load the "
                         f"snapshot payload: {loaded.error}") from loaded.error
-                self._shard_items[shard] = int(body["shards"][shard]["items"])
+                self._shard_items[shard] = body["shards"][shard]["items"]
             else:
                 self._shard_items[shard] = 0
             self._workers[shard] = replacement

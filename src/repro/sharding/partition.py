@@ -31,7 +31,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from ..core.config import SHARD_PARTITION_MODES
 from ..core.hashing import hash64, shard_of
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ShardingError
 from ..streams.edge import StreamEdge, Vertex
 
 #: Partition-key modes understood by :class:`ShardPartitioner` — the single
@@ -202,15 +202,34 @@ class ShardPartitioner:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "ShardPartitioner":
-        """Rebuild a partitioner from :meth:`export_state` output."""
-        partitioner = cls(int(state["num_shards"]),
-                          partition_by=str(state["partition_by"]),
-                          seed=int(state["seed"]))
-        for vertex, shard in dict(state.get("overrides", {})).items():
-            partitioner._overrides[vertex] = int(shard)
-            partitioner._vertex_memo[vertex] = int(shard)
-        for vertex, owners in dict(state.get("previous_owners", {})).items():
-            partitioner._previous_owners[vertex] = tuple(int(s) for s in owners)
+        """Rebuild a partitioner from :meth:`export_state` output.
+
+        Raises
+        ------
+        ShardingError
+            When ``state`` is malformed (missing keys, non-numeric shard
+            indices) — snapshot manifests are external input, so corruption
+            must surface as a repro.errors type, not a bare builtin.
+        ConfigurationError
+            When the state describes an invalid configuration (bad shard
+            count or partition mode), exactly as the constructor would.
+        """
+        try:
+            partitioner = cls(int(state["num_shards"]),
+                              partition_by=str(state["partition_by"]),
+                              seed=int(state["seed"]))
+            for vertex, shard in dict(state.get("overrides", {})).items():
+                partitioner._overrides[vertex] = int(shard)
+                partitioner._vertex_memo[vertex] = int(shard)
+            for vertex, owners in dict(state.get("previous_owners", {})).items():
+                partitioner._previous_owners[vertex] = tuple(
+                    int(s) for s in owners)
+        except ConfigurationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardingError(
+                f"partitioner state is malformed and cannot be restored: "
+                f"{exc!r}") from exc
         return partitioner
 
     # ------------------------------------------------------------------ #

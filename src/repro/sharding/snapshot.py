@@ -133,7 +133,12 @@ def write_snapshot(directory: str, *, config: ShardingConfig,
         for shard, (payload, items) in enumerate(
                 zip(payloads, shard_items, strict=True)):
             entry = _write_payload(directory, shard_payload_name(shard), payload)
-            entry["items"] = int(items)
+            try:
+                entry["items"] = int(items)
+            except (TypeError, ValueError) as exc:
+                raise SnapshotError(
+                    f"shard {shard} items count {items!r} is not an "
+                    f"integer") from exc
             shards.append(entry)
         partition_entry = _write_payload(
             directory, PARTITION_NAME,
@@ -205,11 +210,28 @@ def read_manifest(directory: str, *, verify: bool = True) -> Dict[str, Any]:
             f"snapshot at {directory!r} has format version "
             f"{body.get('format_version')!r}; this build reads version "
             f"{FORMAT_VERSION}")
-    if len(body.get("shards", [])) != body.get("num_shards"):
+    shards = body.get("shards")
+    if not isinstance(shards, list) or len(shards) != body.get("num_shards"):
         raise SnapshotError(
             f"snapshot manifest at {path} is torn: names "
-            f"{len(body.get('shards', []))} shard payloads for "
-            f"{body.get('num_shards')} shards")
+            f"{len(shards) if isinstance(shards, list) else 0} shard "
+            f"payloads for {body.get('num_shards')} shards")
+    # Schema validation: the engine consumes these fields without further
+    # coercion, so a checksummed-but-malformed manifest (hand-edited, or
+    # written by a skewed version) must die here as SnapshotError instead
+    # of surfacing as ValueError/TypeError from the engine (ERR002).
+    for field in ("num_shards", "batch_size", "hash_seed"):
+        if not isinstance(body.get(field), int) or \
+                isinstance(body.get(field), bool):
+            raise SnapshotError(
+                f"snapshot manifest at {path} is torn: {field!r} is "
+                f"{body.get(field)!r}, expected an integer")
+    for shard, entry in enumerate(shards):
+        items = entry.get("items") if isinstance(entry, dict) else None
+        if not isinstance(items, int) or isinstance(items, bool):
+            raise SnapshotError(
+                f"snapshot manifest at {path} is torn: shard {shard} has "
+                f"items count {items!r}, expected an integer")
     return body
 
 

@@ -26,7 +26,7 @@ inner summaries and is itself a :class:`TemporalGraphSummary`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Sequence, Tuple
+from typing import Final, Iterable, List, Protocol, Sequence, Tuple
 
 from .errors import QueryError
 from .streams.edge import GraphStream, StreamEdge, Vertex
@@ -34,7 +34,19 @@ from .streams.edge import GraphStream, StreamEdge, Vertex
 #: Default number of items per chunk when replaying a stream through the
 #: batch insert path.  Large enough to amortize per-batch setup (hash memo
 #: dictionaries), small enough to keep the memo working set in cache.
-DEFAULT_BATCH_SIZE = 1024
+DEFAULT_BATCH_SIZE: Final = 1024
+
+
+class SummaryQuery(Protocol):
+    """Protocol of batchable query objects (see :mod:`repro.queries.types`).
+
+    Anything with an ``evaluate(summary) -> float`` method qualifies; the
+    concrete query dataclasses satisfy it structurally.
+    """
+
+    def evaluate(self, summary: "TemporalGraphSummary") -> float:
+        """Evaluate this query against ``summary`` and return the estimate."""
+        ...  # pragma: no cover - protocol stub
 
 
 class TemporalGraphSummary(ABC):
@@ -179,7 +191,7 @@ class TemporalGraphSummary(ABC):
             On a ``direction`` other than ``"out"`` or ``"in"``.
         """
 
-    def query_batch(self, queries: Sequence) -> List[float]:
+    def query_batch(self, queries: Sequence[SummaryQuery]) -> List[float]:
         """Answer a batch of query objects; returns one estimate per query.
 
         Each element must expose ``evaluate(summary)`` (the protocol of

@@ -25,11 +25,33 @@ raises, hot-path loop inventory).  Two halves:
             (the machine-checked vectorization inventory)
   ========  ==========================================================
 
+* **Interprocedural rules** (:mod:`tools.analyze.callgraph` builds a
+  conservative whole-program call graph over ``src/repro``;
+  :mod:`tools.analyze.propagate` runs fixpoint dataflow over it):
+
+  ========  ==========================================================
+  CONC004   a call *chain* from a with-lock region reaches a blocking
+            primitive at any depth (the transitive completion of
+            CONC001); reports the full chain
+  ERR002    a builtin exception type can escape a public
+            ``ShardedSummary``/``ServingEngine``/snapshot entry point
+            instead of a :mod:`repro.errors` type (the interprocedural
+            completion of ERR001); reports the escape chain
+  PICK001   unpicklable state (locks, threads, queues, sockets, open
+            files, generators, lambdas/closures) is reachable from a
+            value crossing the ``ProcessShardWorker``/snapshot pickle
+            boundary
+  ========  ==========================================================
+
   Findings support inline ``# repro-lint: ok <RULE>`` suppressions and a
   committed baseline (``tools/analyze/baseline.json``) whose every entry
   carries a written justification, so only *new* findings fail the build::
 
       python -m tools.analyze src/
+
+  ``--cache <file>`` persists the call graph keyed on a source
+  fingerprint; ``--ci`` turns stale baseline entries into exit-2 errors;
+  ``--counts`` prints a per-rule new/suppressed/baselined table.
 
 * **Runtime lock-order detector** (:mod:`tools.analyze.lockgraph`): an
   instrumented ``Lock``/``RLock``/``Condition`` factory recording per-thread
@@ -41,8 +63,14 @@ raises, hot-path loop inventory).  Two halves:
 
 from __future__ import annotations
 
-from .driver import REPO_ROOT, analyze_paths, analyze_source, load_baseline, main
+from .callgraph import CallGraph, build_package_graph
+from .driver import (REPO_ROOT, analyze_paths, analyze_source,
+                     interprocedural_findings, load_baseline,
+                     load_or_build_graph, main)
+from .propagate import INTER_RULES, EntrySpec, run_interprocedural
 from .rules import Finding, RULES
 
-__all__ = ["Finding", "RULES", "REPO_ROOT", "analyze_paths", "analyze_source",
-           "load_baseline", "main"]
+__all__ = ["CallGraph", "EntrySpec", "Finding", "INTER_RULES", "REPO_ROOT",
+           "RULES", "analyze_paths", "analyze_source", "build_package_graph",
+           "interprocedural_findings", "load_baseline", "load_or_build_graph",
+           "main", "run_interprocedural"]

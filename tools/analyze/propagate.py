@@ -1,0 +1,377 @@
+"""Fixpoint propagation of whole-program properties over the call graph.
+
+Three interprocedural rules run here, each a monotone dataflow problem over
+the conservative graph built by :mod:`tools.analyze.callgraph`; all three
+lattices are finite (sets of witnesses / exception names / reachable
+classes), so the worklist iterations below always terminate — including on
+recursive and mutually recursive call cycles, where the first-writer-wins
+witness discipline doubles as the cycle guard.
+
+* **CONC004 — transitive blocking.**  A function *may block* when its body
+  contains a syntactic blocking primitive on an external receiver
+  (``Queue.get``/``put``, zero-arg ``join``, ``sleep``, ``wait``/
+  ``wait_for``, pipe/socket ``recv``/``select``/``accept``/``connect``) or
+  when any direct callee may block.  Every lock-held call site whose callee
+  may block is reported with the full chain down to the primitive.  Depth
+  zero — the primitive lexically inside the ``with`` block — is CONC001's
+  job and is not re-reported here.
+* **ERR002 — exception contracts.**  Each function's escape set starts
+  from its explicit ``raise`` statements plus modeled ``int()``/
+  ``float()`` conversions on data-flow arguments, filtered through
+  lexically enclosing ``try`` handlers, and grows along direct call edges
+  (again handler-filtered per call site).  Entry points — public methods
+  of the configured entry classes and public functions of the configured
+  entry modules — fail when a builtin exception type can escape.
+* **PICK001 — pickle safety.**  Starting from factory classes observed
+  flowing into ``make_shard_worker``/``ProcessShardWorker`` boundaries
+  (plus the payload classes their ``__call__`` returns), the attribute
+  type graph is walked transitively; attributes holding locks, threads,
+  queues, sockets, file handles, generators, lambdas, or nested defs are
+  flagged, as are lambdas passed directly through a worker
+  ``submit``/``call``.
+
+Shared unsoundness (with :mod:`tools.analyze.callgraph`, documented in
+``docs/ARCHITECTURE.md``): indirect worker-op edges are *excluded* from
+CONC004/ERR002 propagation — submitted ops run on the worker thread and
+workers convert exceptions into ``ShardResult`` — which also means the
+synchronous ``InlineShardWorker`` path is not tracked; re-raised exception
+variables and exceptions from unmodeled builtins are invisible to ERR002.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, CallSite, RaiseSite
+from .rules import _BLOCKING_ATTRS, _BUILTIN_EXCEPTIONS, Finding
+
+#: Rule id → one-line description for the interprocedural rules (parallel
+#: to :data:`tools.analyze.rules.RULES`, which holds the per-file rules).
+INTER_RULES = {
+    "CONC004": "lock-held call chain reaches a blocking primitive",
+    "ERR002": "builtin exception can escape a public entry point",
+    "PICK001": "unpicklable state crosses a process/snapshot boundary",
+}
+
+#: Builtin exception hierarchy (child → parent) for handler matching.
+_BUILTIN_PARENTS = {
+    "ValueError": "Exception", "TypeError": "Exception",
+    "KeyError": "LookupError", "IndexError": "LookupError",
+    "LookupError": "Exception", "AttributeError": "Exception",
+    "NameError": "Exception", "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError", "ArithmeticError": "Exception",
+    "IOError": "OSError", "OSError": "Exception", "EOFError": "Exception",
+    "MemoryError": "Exception", "RecursionError": "RuntimeError",
+    "RuntimeError": "Exception", "SystemError": "Exception",
+    "AssertionError": "Exception", "UnicodeError": "ValueError",
+    "BufferError": "Exception", "ReferenceError": "Exception",
+    "Exception": "BaseException",
+}
+
+#: External dotted-name prefixes whose instances do not pickle.
+_UNPICKLABLE_PREFIXES = (
+    "threading.", "_thread.", "queue.", "multiprocessing.", "socket.",
+    "select.", "subprocess.", "weakref.", "mmap.", "sqlite3.", "io.",
+)
+
+_HAZARD_TEXT = {
+    "lambda": "a lambda (closures do not pickle)",
+    "nested-def": "a nested function (not importable, does not pickle)",
+    "generator": "a generator (generators do not pickle)",
+    "file-handle": "an open file handle (does not pickle)",
+}
+
+
+@dataclass(frozen=True)
+class EntrySpec:
+    """Which surfaces ERR002 holds to the errors contract.
+
+    ``entry_classes`` are matched by bare class name anywhere in the
+    package; ``entry_modules`` are module paths relative to the package
+    root (``"sharding.snapshot"`` → ``repro.sharding.snapshot``).
+    """
+
+    entry_classes: Tuple[str, ...] = ("ShardedSummary", "ServingEngine")
+    entry_modules: Tuple[str, ...] = ("sharding.snapshot",)
+
+
+def _package_error_parents(graph: CallGraph) -> Dict[str, str]:
+    """Child → parent short names for classes of ``<package>.errors``."""
+    parents: Dict[str, str] = {}
+    errors_module = f"{graph.package}.errors"
+    for info in graph.classes.values():
+        if info.module != errors_module:
+            continue
+        for base in info.bases:
+            parents[info.name] = base.rsplit(".", 1)[-1]
+        if info.name not in parents:
+            parents[info.name] = "Exception"
+    return parents
+
+
+def _covers(exc: str, caught: FrozenSet[str], pkg_parents: Dict[str, str]) -> bool:
+    """True when any caught type is ``exc`` or one of its ancestors."""
+    seen: Set[str] = set()
+    current: Optional[str] = exc
+    while current is not None and current not in seen:
+        if current in caught:
+            return True
+        seen.add(current)
+        current = pkg_parents.get(current) or _BUILTIN_PARENTS.get(current)
+    return False
+
+
+def _filtered(exc: str, handlers: Iterable[FrozenSet[str]],
+              pkg_parents: Dict[str, str]) -> bool:
+    """True when an enclosing handler set catches ``exc``."""
+    return any(_covers(exc, caught, pkg_parents) for caught in handlers)
+
+
+# --------------------------------------------------------------------- #
+# CONC004 — transitive blocking
+# --------------------------------------------------------------------- #
+
+def _blocking_witnesses(graph: CallGraph) -> Dict[str, tuple]:
+    """Fixpoint: qname → witness.  A witness is ``("prim", desc, path,
+    line)`` for a syntactic primitive or ``("call", callee, path, line)``
+    pointing one step down the chain; first writer wins, which both keeps
+    the shortest-discovered chain and terminates recursion."""
+    witness: Dict[str, tuple] = {}
+    for qname, sites in graph.blocks.items():
+        first = min(sites, key=lambda s: s.lineno)
+        fn = graph.functions.get(qname)
+        path = fn.path if fn else ""
+        witness[qname] = ("prim", first.desc, path, first.lineno)
+
+    callers: Dict[str, List[CallSite]] = {}
+    for site in graph.calls:
+        if site.kind == "direct":
+            callers.setdefault(site.callee, []).append(site)
+
+    worklist = list(witness)
+    while worklist:
+        blocked = worklist.pop()
+        for site in callers.get(blocked, ()):
+            if site.caller not in witness:
+                witness[site.caller] = ("call", blocked, site.path, site.lineno)
+                worklist.append(site.caller)
+    return witness
+
+
+def _chain_text(graph: CallGraph, start: str,
+                witness: Dict[str, tuple], limit: int = 12) -> str:
+    parts: List[str] = []
+    current: Optional[str] = start
+    for _ in range(limit):
+        if current is None or current not in witness:
+            break
+        entry = witness[current]
+        fn = graph.functions.get(current)
+        label = fn.short if fn else current
+        if entry[0] == "prim":
+            parts.append(f"{label} -> blocking '{entry[1]}' ({entry[2]}:{entry[3]})")
+            break
+        parts.append(f"{label} ({entry[2]}:{entry[3]})")
+        current = entry[1]
+    return " -> ".join(parts)
+
+
+def check_transitive_blocking(graph: CallGraph) -> List[Finding]:
+    """CONC004: lock-held call sites whose callee may (transitively) block."""
+    witness = _blocking_witnesses(graph)
+    findings: Dict[Tuple[str, int], Finding] = {}
+    for site in graph.calls:
+        if site.kind != "direct" or not site.held or site.callee not in witness:
+            continue
+        leaf = site.callee.rsplit(".", 1)[-1]
+        if leaf in _BLOCKING_ATTRS:
+            continue  # CONC001 already flags this site syntactically
+        caller = graph.functions.get(site.caller)
+        symbol = caller.short if caller else site.caller
+        held = ", ".join(site.held)
+        chain = _chain_text(graph, site.callee, witness)
+        key = (site.path, site.lineno)
+        if key in findings:
+            continue
+        findings[key] = Finding(
+            "CONC004", site.path, site.lineno, symbol,
+            f"call chain while holding {held} may block: {symbol} -> {chain}; "
+            f"a parked thread keeps the lock held and starves every "
+            f"contender")
+    return list(findings.values())
+
+
+# --------------------------------------------------------------------- #
+# ERR002 — exception contracts
+# --------------------------------------------------------------------- #
+
+def _escape_sets(graph: CallGraph) -> Dict[str, Dict[str, tuple]]:
+    """Fixpoint: qname → {builtin exception → witness}.
+
+    Witnesses are ``("raise", path, line, desc)`` or ``("call", callee,
+    path, line)``; only builtin types from the ERR001 flag set are
+    tracked (``repro.errors`` types are the sanctioned contract and
+    handler filtering of builtins never needs them).
+    """
+    pkg_parents = _package_error_parents(graph)
+    escapes: Dict[str, Dict[str, tuple]] = {}
+    for qname, sites in graph.raises.items():
+        fn = graph.functions.get(qname)
+        path = fn.path if fn else ""
+        for site in sites:
+            if site.exc not in _BUILTIN_EXCEPTIONS or site.exc in pkg_parents:
+                continue
+            if _filtered(site.exc, site.handlers, pkg_parents):
+                continue
+            escapes.setdefault(qname, {}).setdefault(
+                site.exc, ("raise", path, site.lineno, site.desc))
+
+    callers: Dict[str, List[CallSite]] = {}
+    for site in graph.calls:
+        if site.kind == "direct":
+            callers.setdefault(site.callee, []).append(site)
+
+    worklist = list(escapes)
+    while worklist:
+        callee = worklist.pop()
+        for site in callers.get(callee, ()):
+            changed = False
+            for exc in escapes.get(callee, ()):
+                if _filtered(exc, site.handlers, pkg_parents):
+                    continue
+                target = escapes.setdefault(site.caller, {})
+                if exc not in target:
+                    target[exc] = ("call", callee, site.path, site.lineno)
+                    changed = True
+            if changed:
+                worklist.append(site.caller)
+    return escapes
+
+
+def _entry_points(graph: CallGraph, spec: EntrySpec) -> List[str]:
+    entries: List[str] = []
+    for info in graph.classes.values():
+        if info.name in spec.entry_classes:
+            for name, qname in info.methods.items():
+                if not name.startswith("_"):
+                    entries.append(qname)
+    entry_modules = {f"{graph.package}.{m}" for m in spec.entry_modules}
+    for qname, fn in graph.functions.items():
+        if fn.module in entry_modules and fn.cls is None and \
+                not fn.name.startswith("_") and \
+                qname == f"{fn.module}.{fn.name}":
+            entries.append(qname)
+    return sorted(set(entries))
+
+
+def _escape_chain(graph: CallGraph, qname: str, exc: str,
+                  escapes: Dict[str, Dict[str, tuple]], limit: int = 12) -> str:
+    parts: List[str] = []
+    current: Optional[str] = qname
+    for _ in range(limit):
+        if current is None:
+            break
+        entry = escapes.get(current, {}).get(exc)
+        if entry is None:
+            break
+        fn = graph.functions.get(current)
+        label = fn.short if fn else current
+        if entry[0] == "raise":
+            parts.append(f"{label}: {entry[3]} at {entry[1]}:{entry[2]}")
+            break
+        parts.append(f"{label} ({entry[2]}:{entry[3]})")
+        current = entry[1]
+    return " -> ".join(parts)
+
+
+def check_exception_contracts(graph: CallGraph,
+                              spec: EntrySpec = EntrySpec()) -> List[Finding]:
+    """ERR002: builtin exception types escaping public entry points."""
+    escapes = _escape_sets(graph)
+    findings: List[Finding] = []
+    for qname in _entry_points(graph, spec):
+        leaked = escapes.get(qname)
+        if not leaked:
+            continue
+        fn = graph.functions[qname]
+        chains = [f"{exc} via {_escape_chain(graph, qname, exc, escapes)}"
+                  for exc in sorted(leaked)[:3]]
+        more = len(leaked) - min(len(leaked), 3)
+        suffix = f" (+{more} more type(s))" if more else ""
+        findings.append(Finding(
+            "ERR002", fn.path, fn.lineno, fn.short,
+            f"public entry point can leak builtin exception(s) instead of "
+            f"repro.errors types: " + "; ".join(chains) + suffix))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# PICK001 — pickle safety across process/snapshot boundaries
+# --------------------------------------------------------------------- #
+
+def _boundary_roots(graph: CallGraph) -> Dict[str, str]:
+    """Root class qname → human-readable provenance."""
+    roots: Dict[str, str] = {}
+    for factory in sorted(graph.boundary_factories):
+        name = graph.classes[factory].name
+        roots.setdefault(factory, f"factory {name} shipped to the worker")
+        for payload in sorted(graph.classes[factory].call_returns):
+            payload_name = graph.classes[payload].name
+            roots.setdefault(
+                payload, f"{payload_name} built by {name}.__call__ inside "
+                f"the worker and pickled back through snapshot payloads")
+    return roots
+
+
+def check_pickle_safety(graph: CallGraph) -> List[Finding]:
+    """PICK001: unpicklable state reachable from a process/snapshot root."""
+    findings: Dict[Tuple[str, int, str], Finding] = {}
+    roots = _boundary_roots(graph)
+    visited: Set[str] = set()
+    queue: List[Tuple[str, str, List[str]]] = [
+        (root, why, [graph.classes[root].name]) for root, why in roots.items()]
+    while queue:
+        cls_qname, why, chain = queue.pop(0)
+        if cls_qname in visited:
+            continue
+        visited.add(cls_qname)
+        info = graph.classes[cls_qname]
+        for attr in sorted(set(info.attr_types) | set(info.attr_hazards)):
+            step = f"{info.name}.{attr}"
+            path, lineno = info.attr_sites.get(attr, (info.path, info.lineno))
+            via = " -> ".join(chain + [attr])
+            for typ in sorted(info.attr_types.get(attr, ())):
+                if typ in graph.classes:
+                    queue.append((typ, why,
+                                  chain + [f"{attr}:{graph.classes[typ].name}"]))
+                elif typ.startswith(_UNPICKLABLE_PREFIXES):
+                    findings.setdefault((path, lineno, step), Finding(
+                        "PICK001", path, lineno, step,
+                        f"'{step}' holds {typ}, which cannot cross the "
+                        f"ProcessShardWorker/snapshot pickle boundary "
+                        f"(reachable via {via}; {why})"))
+            for hazard in sorted(info.attr_hazards.get(attr, ())):
+                findings.setdefault((path, lineno, f"{step}#{hazard}"), Finding(
+                    "PICK001", path, lineno, step,
+                    f"'{step}' holds {_HAZARD_TEXT[hazard]} and cannot cross "
+                    f"the ProcessShardWorker/snapshot pickle boundary "
+                    f"(reachable via {via}; {why})"))
+    for caller, path, lineno in graph.submit_lambdas:
+        fn = graph.functions.get(caller)
+        symbol = fn.short if fn else caller
+        findings.setdefault((path, lineno, symbol), Finding(
+            "PICK001", path, lineno, symbol,
+            "lambda passed through a worker submit/call boundary; lambdas "
+            "do not pickle, so this breaks under executor='process'"))
+    return list(findings.values())
+
+
+def run_interprocedural(graph: CallGraph,
+                        spec: EntrySpec = EntrySpec()) -> List[Finding]:
+    """Run all three interprocedural rules; findings sorted like the driver."""
+    findings = (check_transitive_blocking(graph)
+                + check_exception_contracts(graph, spec)
+                + check_pickle_safety(graph))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
