@@ -1,10 +1,27 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project is configured through ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` keeps working on older toolchains (setuptools < 70
-without the ``wheel`` package, as found on some offline machines).
+The library is pure Python with **zero hard dependencies**: every numpy
+path degrades to a retained pure-Python fallback (see
+``repro.core.config.accelerator``).  numpy ships as the ``[fast]`` extra —
+``pip install .[fast]`` — which turns on the vectorized kernels and the
+packed-edge shared-memory transport for process shard workers.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-higgs",
+    version="0.10.0",
+    description=("HIGGS temporal graph stream summarization: "
+                 "aggregated B-tree of compressed matrices"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        # Optional accelerator: vectorized hash/probe/aggregation kernels
+        # and the shared-memory batch transport.  Results are bit-identical
+        # with or without it; only the constant factors change.
+        "fast": ["numpy"],
+    },
+)

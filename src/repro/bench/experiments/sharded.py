@@ -35,10 +35,19 @@ under **source** partitioning — first on the natural stream, then on streams
 whose source keys are biased toward one hot shard
 (:func:`~repro.streams.generators.reskew_to_shards`) — showing how partition
 imbalance erodes the projected speedup while wall-clock work barely moves.
+
+A third row group (``figure = "sharded-process"``) measures the projection
+directly: wall-clock ingest through the ``"process"`` executor (worker
+processes fed over the packed-edge shared-memory transport) at 1 shard and
+at the largest swept shard count.  Its ``wall_x`` is the *measured*
+parallel speedup; every row carries ``host_cores`` because the figure is
+meaningless without it — on a single-core host the measured speedup cannot
+exceed 1× no matter how well the engine scales.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -48,9 +57,10 @@ from ..methods import make_sharded_higgs
 
 
 def _measure_engine(stream: GraphStream, shards: int,
-                    partition_by: str) -> Dict[str, float]:
+                    partition_by: str,
+                    executor: str = "serial") -> Dict[str, float]:
     """Ingest ``stream`` into a fresh ``shards``-way engine; return metrics."""
-    engine = make_sharded_higgs(stream, shards, executor="serial",
+    engine = make_sharded_higgs(stream, shards, executor=executor,
                                 partition_by=partition_by)
     try:
         start = time.perf_counter()
@@ -58,6 +68,7 @@ def _measure_engine(stream: GraphStream, shards: int,
         wall = time.perf_counter() - start
         busy = engine.shard_busy_seconds()
         memory = engine.memory_bytes()
+        transport = engine.transport_stats()
     finally:
         engine.close()
     total_busy = sum(busy)
@@ -67,6 +78,7 @@ def _measure_engine(stream: GraphStream, shards: int,
     # partitioning, routing, and dispatch.  It is serial in both figures.
     overhead = max(0.0, wall - total_busy)
     return {
+        "transport_packed_batches": transport["packed_batches"],
         "items": inserted,
         "wall_s": wall,
         "overhead_s": overhead,
@@ -111,6 +123,7 @@ def run_sharded_scaling(*, num_edges: int = 100_000, num_vertices: int = 2_000,
                       name=f"shard-synth-{num_edges}")
     stream = generate_stream(spec)
 
+    host_cores = os.cpu_count() or 1
     rows: List[Dict[str, object]] = []
     baseline_wall = baseline_parallel = None
     for shards in shard_counts:
@@ -120,6 +133,7 @@ def run_sharded_scaling(*, num_edges: int = 100_000, num_vertices: int = 2_000,
             baseline_parallel = metrics["parallel_s"]
         rows.append({
             "figure": "sharded",
+            "host_cores": host_cores,
             "dataset": stream.name,
             "shards": shards,
             "items": metrics["items"],
@@ -149,6 +163,7 @@ def run_sharded_scaling(*, num_edges: int = 100_000, num_vertices: int = 2_000,
         metrics = _measure_engine(skewed, skew_shards, "source")
         rows.append({
             "figure": "sharded-skew",
+            "host_cores": host_cores,
             "dataset": skewed.name,
             "shards": skew_shards,
             "items": metrics["items"],
@@ -165,5 +180,34 @@ def run_sharded_scaling(*, num_edges: int = 100_000, num_vertices: int = 2_000,
                           if metrics["parallel_s"] else 0.0,
             "imbalance": metrics["imbalance"],
             "memory_mb": metrics["memory_mb"],
+        })
+
+    # Measured (not projected) parallel ingest: the process executor with
+    # the packed-edge shared-memory transport, 1 shard vs the largest swept
+    # shard count.  ``wall_x`` here is the *measured* wall-clock speedup —
+    # the figure the projection above promises; on a host with fewer cores
+    # than shards it degrades toward 1× (plus IPC overhead), which is why
+    # the perf gate only enforces it when ``host_cores`` suffices
+    # (``sharded_wall_x4``'s ``min_cores`` attribute).
+    process_shards = max(shard_counts)
+    process_baseline = None
+    for shards in (1, process_shards):
+        metrics = _measure_engine(stream, shards, "edge", executor="process")
+        if process_baseline is None:
+            process_baseline = metrics["wall_s"]
+        rows.append({
+            "figure": "sharded-process",
+            "host_cores": host_cores,
+            "dataset": stream.name,
+            "shards": shards,
+            "items": metrics["items"],
+            "wall_s": metrics["wall_s"],
+            "wall_eps": metrics["items"] / metrics["wall_s"]
+                        if metrics["wall_s"] else 0.0,
+            "wall_x": process_baseline / metrics["wall_s"]
+                      if metrics["wall_s"] else 0.0,
+            "imbalance": metrics["imbalance"],
+            "memory_mb": metrics["memory_mb"],
+            "transport_packed_batches": metrics["transport_packed_batches"],
         })
     return rows

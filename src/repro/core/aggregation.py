@@ -13,13 +13,14 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from .config import HiggsConfig
+from . import vectorized
+from .config import HiggsConfig, accelerator
 from .hashing import lift_address
 from .matrix import CompressedMatrix
 from .node import InternalNode, LeafNode
 
 
-# hot-path
+# hot-path: bulk=vectorized.lift_array
 def lift_coordinates(fingerprint: int, address: int, from_level: int,
                      to_level: int, config: HiggsConfig) -> Tuple[int, int]:
     """Lift a ``(fingerprint, address)`` pair from one tree layer to a higher one.
@@ -84,7 +85,7 @@ class _LiftMemo:
 _SPILLED = object()
 
 
-# hot-path
+# hot-path: bulk=_aggregate_entries_arrays
 def _aggregate_entries(node: InternalNode, entries: Iterable[Tuple],
                        memo: _LiftMemo, placed: dict) -> None:
     """Lift and place child entries into the parent, spilling over if needed.
@@ -127,6 +128,70 @@ def _aggregate_entries(node: InternalNode, entries: Iterable[Tuple],
             placed[key] = entry
 
 
+# hot-path
+def _aggregate_entries_arrays(node: InternalNode, src_fps, dst_fps,
+                              src_addrs, dst_addrs, weights,
+                              from_level: int, to_level: int,
+                              config: HiggsConfig) -> None:
+    """Array twin of :func:`_aggregate_entries` (requires numpy).
+
+    The caller concatenates every child's entries into one batch, so the
+    lift, the parent probe rows and the flat candidate cells all run
+    vectorized once; the remaining per-item loop only touches buckets.  The
+    placement memo is keyed by the dense group id of each item's lifted
+    ``(f(s), f(d), h(s), h(d))`` value tuple — value-keying is bit-identical
+    to the scalar path's id-keyed memo because the parent matrix holds at
+    most one entry per key, so the scan a memo hit skips would find exactly
+    the memoized entry (and a key that once spilled can never be placed
+    later: slots only fill up).  Matrix-entry and overflow weights
+    accumulate in the same item order as the scalar path.
+    """
+    count = len(src_fps)
+    if count == 0:
+        return
+    matrix = node.matrix
+    lifted_fs, lifted_hs = vectorized.lift_array(src_fps, src_addrs,
+                                                 from_level, to_level, config)
+    lifted_fd, lifted_hd = vectorized.lift_array(dst_fps, dst_addrs,
+                                                 from_level, to_level, config)
+    src_rows = matrix.probe_rows_array(lifted_fs, lifted_hs)
+    dst_cols = matrix.probe_rows_array(lifted_fd, lifted_hd)
+    cells = vectorized.candidate_cells_array(src_rows, dst_cols,
+                                             matrix.size).tolist()
+    group = vectorized.group_ids(lifted_fs, lifted_fd,
+                                 lifted_hs, lifted_hd).tolist()
+    fs_list = lifted_fs.tolist()
+    fd_list = lifted_fd.tolist()
+    hs_list = lifted_hs.tolist()
+    hd_list = lifted_hd.tolist()
+    rows_list = src_rows.tolist()
+    cols_list = dst_cols.tolist()
+    weight_list = weights.tolist()
+    insert_cells = matrix.insert_cells
+    add_overflow = node.add_overflow
+    placed: dict = {}
+    placed_get = placed.get
+    for k in range(count):
+        gid = group[k]
+        weight = weight_list[k]
+        entry = placed_get(gid)
+        if entry is not None:
+            if entry is _SPILLED:
+                add_overflow(fs_list[k], fd_list[k], hs_list[k], hd_list[k],
+                             weight)
+            else:
+                entry.weight += weight
+            continue
+        entry = insert_cells(fs_list[k], fd_list[k], cells[k],
+                             rows_list[k], cols_list[k], weight)
+        if entry is None:
+            add_overflow(fs_list[k], fd_list[k], hs_list[k], hd_list[k],
+                         weight)
+            placed[gid] = _SPILLED
+        else:
+            placed[gid] = entry
+
+
 def aggregate_leaves(parent_index: int, leaves: List[LeafNode],
                      config: HiggsConfig) -> InternalNode:
     """Build a level-2 internal node aggregating a group of closed leaves.
@@ -142,6 +207,18 @@ def aggregate_leaves(parent_index: int, leaves: List[LeafNode],
     t_max = max(t_maxs) if t_maxs else 0
     keys = [leaf.t_min for leaf in leaves[1:] if leaf.t_min is not None]
     node = InternalNode(level, parent_index, matrix, keys, t_min, t_max)
+
+    if accelerator() is not None:
+        np = vectorized.np
+        parts = [child_matrix.canonical_entries_arrays()
+                 for leaf in leaves for child_matrix in leaf.matrices()]
+        parts = [arrays for arrays in parts if len(arrays[0])]
+        if parts:
+            _aggregate_entries_arrays(
+                node, *(np.concatenate([arrays[i] for arrays in parts])
+                        for i in range(5)),
+                1, level, config)
+        return node
 
     memo = _LiftMemo(matrix, 1, level, config)
     placed: dict = {}
@@ -162,6 +239,27 @@ def aggregate_internal(parent_index: int, children: List[InternalNode],
     t_max = max(child.t_max for child in children)
     keys = [child.t_min for child in children[1:]]
     node = InternalNode(level, parent_index, matrix, keys, t_min, t_max)
+
+    if accelerator() is not None:
+        np = vectorized.np
+        parts = []
+        for child in children:
+            arrays = child.matrix.canonical_entries_arrays()
+            if len(arrays[0]):
+                parts.append(arrays)
+            if child.overflow:
+                spilled_keys = np.asarray(list(child.overflow.keys()),
+                                          dtype=np.int64)
+                parts.append((spilled_keys[:, 0], spilled_keys[:, 1],
+                              spilled_keys[:, 2], spilled_keys[:, 3],
+                              np.asarray(list(child.overflow.values()),
+                                         dtype=np.float64)))
+        if parts:
+            _aggregate_entries_arrays(
+                node, *(np.concatenate([arrays[i] for arrays in parts])
+                        for i in range(5)),
+                child_level, level, config)
+        return node
 
     memo = _LiftMemo(matrix, child_level, level, config)
     placed: dict = {}

@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import ShardingError
+from . import shm
+from .config import accelerator
 
 #: Reserved method name: returns the worker's busy-time counter instead of
 #: invoking the target (handled uniformly by every worker implementation).
@@ -238,6 +240,16 @@ class ShardWorker(ABC):
         if result.ok and isinstance(result.value, dict):
             return dict(result.value)
         return {"busy_seconds": 0.0, "calls": 0}
+
+    def transport_stats(self) -> dict:
+        """Wire-transport counters of this worker.
+
+        Non-trivial only for :class:`ProcessShardWorker` (the only worker
+        with a wire); inline and thread workers pass arguments by reference
+        and report zeros, so pool-wide sweeps need no type dispatch.
+        """
+        return {"packed_batches": 0, "packed_bytes": 0,
+                "fallback_batches": 0, "live_regions": 0}
 
     def drain(self, timeout: Optional[float] = None) -> ShardResult:
         """Block until every previously submitted call has finished.
@@ -456,28 +468,39 @@ def _process_worker_main(factory: Callable[[], Any], conn) -> None:
         return
     conn.send(("ready", None))
     busy = [0.0, 0]
-    while True:
-        try:
-            request = conn.recv()
-        except EOFError:
-            break
-        if request is None:
-            break
-        method, args, kwargs = request
-        reserved = _apply_reserved(holder, method, args, busy)
-        if reserved is not None:
-            if reserved.ok:
-                conn.send(("ok", reserved.value))
-            else:
-                error = reserved.error
-                conn.send(("err", (type(error).__name__, str(error))))
-            continue
-        try:
-            value = _timed_invoke(holder.target, method, args, kwargs, busy)
-            conn.send(("ok", value))
-        except BaseException as exc:  # noqa: BLE001 - reported to the parent
-            conn.send(("err", (type(exc).__name__, str(exc))))
-    conn.close()
+    receiver = shm.ShmRingReceiver()
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                break
+            if request is None:
+                break
+            method, args, kwargs = request
+            reserved = _apply_reserved(holder, method, args, busy)
+            if reserved is not None:
+                if reserved.ok:
+                    conn.send(("ok", reserved.value))
+                else:
+                    error = reserved.error
+                    conn.send(("err", (type(error).__name__, str(error))))
+                continue
+            try:
+                # Resolve packed-batch references inside the guarded block:
+                # a missing segment or a numpy-less child surfaces as a
+                # normal error result, never a dead worker.
+                if any(isinstance(arg, shm.PackedBatchRef) for arg in args):
+                    args = tuple(receiver.read(arg)
+                                 if isinstance(arg, shm.PackedBatchRef)
+                                 else arg for arg in args)
+                value = _timed_invoke(holder.target, method, args, kwargs, busy)
+                conn.send(("ok", value))
+            except BaseException as exc:  # noqa: BLE001 - reported to the parent
+                conn.send(("err", (type(exc).__name__, str(exc))))
+    finally:
+        receiver.close()
+        conn.close()
 
 
 class ProcessShardWorker(ShardWorker):
@@ -518,6 +541,17 @@ class ProcessShardWorker(ShardWorker):
         #: collects keep pairing with their own calls.
         self._stale = 0  # guarded-by: owner=collect
         self._outstanding = 0  # guarded-by: owner=submit,collect
+        #: Shared-memory ring for packed edge batches, created lazily on the
+        #: first batch worth packing; ``None`` means every payload pickles.
+        self._transport: Optional[shm.ShmRingSender] = None
+        #: One flag per successfully piped call, in FIFO order: True when
+        #: the call shipped a ring region that must be freed when its result
+        #: arrives.  Results arrive in the same order (FIFO service), so
+        #: every pipe recv — including stale discards — pops exactly one.
+        # guarded-by: owner=submit,collect,_on_result_arrival,_destroy_transport
+        self._region_flags: List[bool] = []
+        #: Batches that fell back to the pickled path (counter for stats).
+        self._fallback_batches = 0
         status, payload = self._conn.recv()
         if status != "ready":
             type_name, message = payload
@@ -530,17 +564,77 @@ class ProcessShardWorker(ShardWorker):
     def submit(self, method: str, args: Tuple = (), kwargs: Optional[dict] = None) -> None:
         if self._closed:
             raise ShardingError("submit on a closed shard worker")
+        args, shipped_region = self._maybe_pack(args)
         try:
             self._conn.send((method, args, kwargs))
         except (BrokenPipeError, OSError):
             # A dead child must not leak a raw OSError out of submit (and
             # thereby desynchronize the caller's scatter loop); the failure
             # is delivered through the matching collect() instead.
+            if shipped_region and self._transport is not None:
+                # The ref never reached the child; reclaim its ring space
+                # immediately so a dead-then-rebuilt pipe cannot leak it.
+                self._transport.cancel_last()
             self._submit_markers.append("failed")
             self._outstanding += 1
             return
         self._submit_markers.append("sent")
+        self._region_flags.append(shipped_region)
         self._outstanding += 1
+
+    def _maybe_pack(self, args: Tuple) -> Tuple[Tuple, bool]:
+        """Swap a large edge-list argument for a shared-memory batch ref.
+
+        Packing is attempted only when the numpy accelerator is active, the
+        call carries exactly one positional argument that is a list/tuple of
+        at least :data:`~repro.core.shm.MIN_PACK_EDGES` edge-shaped items,
+        and the ring has room; every other case — including a mid-pack
+        conversion error — falls back to the pickled payload untouched.
+        Returns ``(args, True)`` when a ring region was allocated.
+        """
+        if len(args) != 1 or not isinstance(args[0], (list, tuple)):
+            return args, False
+        batch = args[0]
+        if len(batch) < shm.MIN_PACK_EDGES or not shm.available() \
+                or accelerator() is None:
+            return args, False
+        first = batch[0]
+        if not (hasattr(first, "source") and hasattr(first, "destination")
+                and hasattr(first, "weight") and hasattr(first, "timestamp")):
+            return args, False
+        try:
+            packed = shm.pack_edges(batch)
+        except (TypeError, AttributeError, OverflowError, ValueError):
+            self._fallback_batches += 1
+            return args, False
+        if self._transport is None:
+            try:
+                self._transport = shm.ShmRingSender(self.name)
+            except OSError:
+                self._fallback_batches += 1
+                return args, False
+        ref = self._transport.send(packed)
+        if ref is None:
+            self._fallback_batches += 1
+            return args, False
+        return (ref,), True
+
+    def _on_result_arrival(self) -> None:
+        """Bookkeeping for every result recv'd from the pipe (FIFO order):
+        free the ring region of the call the result answers, if it had one."""
+        if self._region_flags:
+            if self._region_flags.pop(0) and self._transport is not None:
+                self._transport.free_oldest()
+
+    def transport_stats(self) -> dict:
+        """Shared-memory transport counters of this worker (parent side)."""
+        sender = self._transport
+        return {
+            "packed_batches": sender.packed_batches if sender else 0,
+            "packed_bytes": sender.packed_bytes if sender else 0,
+            "fallback_batches": self._fallback_batches,
+            "live_regions": sender.live_regions if sender else 0,
+        }
 
     def collect(self, timeout: Optional[float] = None) -> ShardResult:
         self._outstanding = max(0, self._outstanding - 1)
@@ -557,6 +651,7 @@ class ProcessShardWorker(ShardWorker):
             try:
                 if self._conn.poll(_COLLECT_POLL_SECONDS):
                     status, payload = self._conn.recv()
+                    self._on_result_arrival()
                     if self._stale:
                         # A result owed to an earlier timed-out collect:
                         # discard it and keep waiting for this call's own.
@@ -571,6 +666,7 @@ class ProcessShardWorker(ShardWorker):
                 with contextlib.suppress(EOFError, OSError):
                     if self._conn.poll(0):
                         status, payload = self._conn.recv()
+                        self._on_result_arrival()
                         if self._stale:
                             self._stale -= 1
                             continue
@@ -592,11 +688,29 @@ class ProcessShardWorker(ShardWorker):
                                          f"{type_name}: {message}"))
 
     def alive(self) -> bool:
-        """Whether the child process is still serving calls."""
-        return not self._closed and self._process.is_alive()
+        """Whether the child process is still serving calls.
+
+        Observing a dead child also tears down the shared-memory transport:
+        crash recovery polls this before rebuilding a shard, so the dead
+        worker's segment is unlinked before its replacement allocates one.
+        """
+        is_alive = not self._closed and self._process.is_alive()
+        if not is_alive:
+            self._destroy_transport()
+        return is_alive
+
+    def _destroy_transport(self) -> None:
+        """Unlink the shared-memory segment, dropping every in-flight region
+        (idempotent; only reached when the child is dead or closed, so no
+        live reader remains)."""
+        if self._transport is not None:
+            self._transport.destroy()
+            self._transport = None
+        self._region_flags.clear()
 
     def _death_result(self) -> ShardResult:
         """Failed :class:`ShardResult` for a dead child, naming the shard."""
+        self._destroy_transport()
         exit_code = self._process.exitcode
         detail = f" (exit code {exit_code})" if exit_code is not None else ""
         return ShardResult(False, None, ShardingError(
@@ -614,6 +728,7 @@ class ProcessShardWorker(ShardWorker):
             self._process.terminate()
             self._process.join(timeout=5)
         self._conn.close()
+        self._destroy_transport()
 
 
 def resolve_executor(mode: str) -> str:

@@ -31,9 +31,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..errors import QueryError
 from ..streams.edge import StreamEdge, Vertex
 from ..summary import TemporalGraphSummary
+from . import vectorized
 from .aggregation import lift_coordinates
 from .boundary import QueryPlanCache, RangeDecomposition, boundary_search
-from .config import HiggsConfig
+from .config import HiggsConfig, accelerator
 from .hashing import VertexHasher
 from .tree import HiggsTree
 
@@ -79,8 +80,77 @@ class Higgs(TemporalGraphSummary):
         applied by :meth:`HiggsTree.insert_hashed_batch`, which defers upward
         aggregation to the end of the batch.  The resulting structure is
         identical to per-item insertion.
+
+        When numpy is available (see :func:`~repro.core.config.accelerator`)
+        the whole batch is hashed and probed as packed arrays instead
+        (:meth:`HiggsTree.insert_hashed_batch_arrays`) — bit-identical to
+        the scalar path, just without per-item Python arithmetic.  Batches
+        exposing pre-packed arrays (``packed_arrays()``, e.g. shared-memory
+        batches from :mod:`repro.core.shm`) skip the packing pass entirely.
         """
+        if accelerator() is not None:
+            packed = getattr(edges, "packed_arrays", None)
+            if packed is not None:
+                vertices, src_idx, dst_idx, weights, timestamps = packed()
+                if not len(src_idx):
+                    return 0
+                return self._tree.insert_hashed_batch_arrays(
+                    *self._hash_indexed(vertices, src_idx, dst_idx,
+                                        weights, timestamps))
+            if isinstance(edges, (list, tuple)):
+                items = edges
+            else:
+                # Match the streaming exception contract of the scalar path:
+                # every item the iterable yielded before dying is applied.
+                items = []
+                try:
+                    items.extend(edges)
+                except BaseException:
+                    if items:
+                        self._tree.insert_hashed_batch_arrays(
+                            *self._pack_batch(items))
+                    raise
+            if not items:
+                return 0
+            return self._tree.insert_hashed_batch_arrays(
+                *self._pack_batch(items))
         return self._tree.insert_edges_batch(edges, self._hasher.split)
+
+    def _pack_batch(self, items: Sequence[StreamEdge]) -> Tuple:
+        """Index a batch's distinct vertices and pack it into hashed arrays."""
+        index: Dict[Vertex, int] = {}
+        setdefault = index.setdefault
+        src_idx: List[int] = []
+        dst_idx: List[int] = []
+        weights: List[float] = []
+        timestamps: List[int] = []
+        for edge in items:
+            src_idx.append(setdefault(edge.source, len(index)))
+            dst_idx.append(setdefault(edge.destination, len(index)))
+            weights.append(edge.weight)
+            timestamps.append(int(edge.timestamp))
+        return self._hash_indexed(list(index), src_idx, dst_idx,
+                                  weights, timestamps)
+
+    def _hash_indexed(self, vertices: Sequence[Vertex], src_idx, dst_idx,
+                      weights, timestamps) -> Tuple:
+        """Hash distinct vertices once, fan out to per-edge batch arrays.
+
+        ``src_idx`` / ``dst_idx`` index into ``vertices`` (the bulk analogue
+        of the scalar batch path's per-vertex split memo — each distinct
+        vertex is hashed exactly once).  Returns the argument tuple for
+        :meth:`HiggsTree.insert_hashed_batch_arrays`.
+        """
+        np = vectorized.np
+        config = self.config
+        hashes = vectorized.hash64_array(vertices, config.hash_seed)
+        fingerprints, addresses = vectorized.split_array(
+            hashes, config.fingerprint_bits, config.leaf_matrix_size)
+        return (fingerprints, addresses,
+                np.asarray(src_idx, dtype=np.int64),
+                np.asarray(dst_idx, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+                np.asarray(timestamps, dtype=np.int64))
 
     def delete(self, source: Vertex, destination: Vertex, weight: float,
                timestamp: int) -> None:
@@ -174,9 +244,30 @@ class Higgs(TemporalGraphSummary):
         functions, so results are bit-identical to the per-item path);
         composite queries fall back to their per-item evaluation, which still
         benefits from the query-plan cache.
+
+        When numpy is available the batch's distinct edge/vertex-query
+        endpoints are hashed in one vectorized pass that pre-fills the split
+        memo; the per-query answers are unchanged (the bulk hash is
+        bit-identical to :meth:`VertexHasher.split`).
         """
         split = self._hasher.split
         split_memo: Dict[Vertex, Tuple[int, int]] = {}
+        if accelerator() is not None:
+            distinct: Dict[Vertex, None] = {}
+            for query in queries:
+                if hasattr(query, "destination"):
+                    distinct.setdefault(query.source)
+                    distinct.setdefault(query.destination)
+                elif hasattr(query, "vertex"):
+                    distinct.setdefault(query.vertex)
+            if distinct:
+                vertices = list(distinct)
+                fingerprints, addresses = vectorized.split_array(
+                    vectorized.hash64_array(vertices, self.config.hash_seed),
+                    self.config.fingerprint_bits,
+                    self.config.leaf_matrix_size)
+                split_memo = dict(zip(vertices, zip(fingerprints.tolist(),
+                                                    addresses.tolist())))
         lifted: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
 
         def memo_split(vertex: Vertex) -> Tuple[int, int]:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError
+from . import vectorized
 from .hashing import probe_address, probe_step
 
 
@@ -132,16 +133,29 @@ class CompressedMatrix:
     # insertion
     # ------------------------------------------------------------------ #
 
-    # hot-path
+    # hot-path: bulk=probe_rows_array
     def probe_rows(self, fingerprint: int, address: int) -> Tuple[int, ...]:
         """The vertex's candidate row/column indices, probe order.
 
         Precomputing these once per vertex (and memoizing them per batch) is
-        the basis of :meth:`insert_probed`.
+        the basis of :meth:`insert_probed`.  Scalar fallback twin of
+        :meth:`probe_rows_array`.
         """
         step = probe_step(fingerprint)
         size = self.size
         return tuple((address + i * step) % size for i in range(self.num_probes))
+
+    # hot-path
+    def probe_rows_array(self, fingerprints, addresses):
+        """Vectorized :meth:`probe_rows` over parallel coordinate arrays.
+
+        Returns an ``(n, num_probes)`` ``int64`` matrix of candidate
+        row/column indices, bit-identical row-wise to :meth:`probe_rows`.
+        Requires numpy (callers gate through
+        :func:`repro.core.config.accelerator`).
+        """
+        return vectorized.probe_rows_array(fingerprints, addresses,
+                                           self.num_probes, self.size)
 
     def insert(self, src_fingerprint: int, dst_fingerprint: int,
                src_address: int, dst_address: int, weight: float,
@@ -155,7 +169,7 @@ class CompressedMatrix:
             self.probe_rows(dst_fingerprint, dst_address),
             weight, timestamp) is not None
 
-    # hot-path
+    # hot-path: bulk=insert_probed_array
     def insert_probed(self, src_fingerprint: int, dst_fingerprint: int,
                       src_rows: Sequence[int], dst_cols: Sequence[int],
                       weight: float,
@@ -215,6 +229,102 @@ class CompressedMatrix:
             if self.end_time is None or ts > self.end_time:
                 self.end_time = ts
         return entry
+
+    # hot-path: bulk=insert_probed_array
+    def insert_cells(self, src_fingerprint: int, dst_fingerprint: int,
+                     cells: Sequence[int], src_rows: Sequence[int],
+                     dst_cols: Sequence[int], weight: float,
+                     timestamp: Optional[int] = None) -> Optional[MatrixEntry]:
+        """:meth:`insert_probed` with the candidate cells precomputed.
+
+        ``cells[i * r + j]`` must equal ``src_rows[i] * size + dst_cols[j]``
+        (see :func:`repro.core.vectorized.candidate_cells_array`, which the
+        array ingest paths use to build them for a whole batch at once).
+        This is the sequential core the bulk paths cannot vectorize —
+        placement depends on what previous items placed — stripped of all
+        per-candidate address arithmetic.  Scan order, free-slot choice and
+        the returned entry are bit-identical to :meth:`insert_probed`.
+        """
+        ts = timestamp if self.store_timestamps else None
+        free_slot = -1
+        buckets = self._buckets
+        bucket_entries = self.bucket_entries
+        num_cols = len(dst_cols)
+
+        for position, cell in enumerate(cells):
+            bucket = buckets.get(cell)
+            if bucket is None:
+                if free_slot < 0:
+                    free_slot = position
+                continue
+            i, j = divmod(position, num_cols)
+            for entry in bucket:
+                if (entry.src_probe == i and entry.dst_probe == j
+                        and entry.src_fingerprint == src_fingerprint
+                        and entry.dst_fingerprint == dst_fingerprint
+                        and (ts is None or entry.timestamp == ts)):
+                    entry.weight += weight
+                    if ts is not None:
+                        if self.start_time is None or ts < self.start_time:
+                            self.start_time = ts
+                        if self.end_time is None or ts > self.end_time:
+                            self.end_time = ts
+                    return entry
+            if free_slot < 0 and len(bucket) < bucket_entries:
+                free_slot = position
+
+        if free_slot < 0:
+            return None
+        i, j = divmod(free_slot, num_cols)
+        entry = MatrixEntry(src_fingerprint, dst_fingerprint, i, j, weight, ts)
+        key = cells[free_slot]
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = []
+            row, col = src_rows[i], dst_cols[j]
+            self._rows.setdefault(row, set()).add(col)
+            self._cols.setdefault(col, set()).add(row)
+        bucket.append(entry)
+        self._entry_count += 1
+        if ts is not None:
+            if self.start_time is None or ts < self.start_time:
+                self.start_time = ts
+            if self.end_time is None or ts > self.end_time:
+                self.end_time = ts
+        return entry
+
+    # hot-path
+    def insert_probed_array(self, src_fingerprints, dst_fingerprints,
+                            src_rows, dst_cols, weights,
+                            timestamps=None) -> List[Optional[MatrixEntry]]:
+        """Bulk :meth:`insert_probed` over parallel arrays (requires numpy).
+
+        ``src_rows`` / ``dst_cols`` are ``(n, num_probes)`` ``int64``
+        matrices from :meth:`probe_rows_array`; ``weights`` is ``float64``
+        and ``timestamps`` ``int64`` (or ``None`` for aggregated matrices).
+        The candidate cells of the whole batch are computed in one
+        vectorized pass; items are then applied strictly in order, so the
+        resulting matrix is bit-identical to ``n`` sequential
+        :meth:`insert_probed` calls.  The k-th result is the entry the k-th
+        item accumulated into, or ``None`` on placement failure (callers
+        redirect those into an overflow structure).
+        """
+        cells = vectorized.candidate_cells_array(src_rows, dst_cols,
+                                                 self.size).tolist()
+        rows_list = src_rows.tolist()
+        cols_list = dst_cols.tolist()
+        src_fps = src_fingerprints.tolist()
+        dst_fps = dst_fingerprints.tolist()
+        weight_list = weights.tolist()
+        ts_list = timestamps.tolist() if timestamps is not None else None
+        insert_cells = self.insert_cells
+        results: List[Optional[MatrixEntry]] = []
+        append = results.append
+        for k in range(len(src_fps)):
+            append(insert_cells(src_fps[k], dst_fps[k], cells[k],
+                                rows_list[k], cols_list[k], weight_list[k],
+                                ts_list[k] if ts_list is not None else None))
+        return results
 
     def decrement(self, src_fingerprint: int, dst_fingerprint: int,
                   src_address: int, dst_address: int, weight: float,
@@ -313,7 +423,7 @@ class CompressedMatrix:
     # aggregation support
     # ------------------------------------------------------------------ #
 
-    # hot-path
+    # hot-path: bulk=canonical_entries_arrays
     def iter_canonical_entries(self) -> Iterator[Tuple[int, int, int, int, float,
                                                        Optional[int]]]:
         """Yield ``(f(s), f(d), h(s), h(d), weight, timestamp)`` per entry.
@@ -335,6 +445,42 @@ class CompressedMatrix:
                             * (2 * dst_fingerprint + 1)) % size
                 yield (src_fingerprint, dst_fingerprint,
                        base_row, base_col, entry.weight, entry.timestamp)
+
+    # hot-path
+    def canonical_entries_arrays(self):
+        """Array form of :meth:`iter_canonical_entries` (requires numpy).
+
+        Returns ``(src_fps, dst_fps, src_addrs, dst_addrs, weights)``
+        arrays in the exact entry order of the iterator; the canonical
+        base-address recovery runs vectorized.  Timestamps are omitted —
+        the only consumer is the aggregation, which drops them.
+        """
+        np = vectorized.np
+        src_fps: List[int] = []
+        dst_fps: List[int] = []
+        rows: List[int] = []
+        cols: List[int] = []
+        src_probes: List[int] = []
+        dst_probes: List[int] = []
+        weights: List[float] = []
+        size = self.size
+        for key, bucket in self._buckets.items():
+            row, col = divmod(key, size)
+            for entry in bucket:
+                src_fps.append(entry.src_fingerprint)
+                dst_fps.append(entry.dst_fingerprint)
+                rows.append(row)
+                cols.append(col)
+                src_probes.append(entry.src_probe)
+                dst_probes.append(entry.dst_probe)
+                weights.append(entry.weight)
+        fs = np.asarray(src_fps, dtype=np.int64)
+        fd = np.asarray(dst_fps, dtype=np.int64)
+        hs = (np.asarray(rows, dtype=np.int64)
+              - np.asarray(src_probes, dtype=np.int64) * (2 * fs + 1)) % size
+        hd = (np.asarray(cols, dtype=np.int64)
+              - np.asarray(dst_probes, dtype=np.int64) * (2 * fd + 1)) % size
+        return fs, fd, hs, hd, np.asarray(weights, dtype=np.float64)
 
     def __len__(self) -> int:
         return self._entry_count

@@ -33,10 +33,11 @@ import bisect
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import InsertionError
+from . import vectorized
 from .aggregation import aggregate_internal, aggregate_leaves, lift_coordinates
 from .config import HiggsConfig
 from .hashing import probe_address
-from .matrix import CompressedMatrix
+from .matrix import CompressedMatrix, MatrixEntry
 from .node import InternalNode, LeafNode
 
 
@@ -300,6 +301,35 @@ class HiggsTree:
             for index in pending_groups:
                 self._aggregate_if_group_complete(index)
         return count
+
+    # hot-path
+    def insert_hashed_batch_arrays(self, fingerprints, addresses,
+                                   src_idx, dst_idx,
+                                   weights, timestamps) -> int:
+        """Array front-end of :meth:`insert_hashed_batch` (requires numpy).
+
+        ``fingerprints`` / ``addresses`` are per-*distinct-vertex* ``int64``
+        arrays (the caller hashed the batch's distinct vertices in one
+        vectorized pass, see :meth:`Higgs._hash_indexed`); ``src_idx`` /
+        ``dst_idx`` map each batch item to its endpoints' rows.  The
+        leaf-level probe sequences are computed vectorized — once per
+        distinct vertex, the array analogue of the scalar split memo — and
+        one probe tuple is shared by every item touching a vertex, which
+        maximizes the placement memo's hit rate downstream.  The prepared
+        items then flow through the scalar batch loop, whose placement
+        memo, overflow handling, exception contract and accounting make
+        the result bit-identical to the pure-Python path by construction.
+        """
+        config = self.config
+        rows = [tuple(row) for row in vectorized.probe_rows_array(
+            fingerprints, addresses, config.num_probes,
+            config.leaf_matrix_size).tolist()]
+        fps = fingerprints.tolist()
+        return self.insert_hashed_batch(
+            [(fps[s], fps[d], rows[s], rows[d], weight, ts)
+             for s, d, weight, ts in zip(
+                 src_idx.tolist(), dst_idx.tolist(),
+                 weights.tolist(), timestamps.tolist())])
 
     def _insert_into_overflow(self, leaf: LeafNode, src_fingerprint: int,
                               dst_fingerprint: int, src_address: int,

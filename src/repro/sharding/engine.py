@@ -272,6 +272,19 @@ class ShardedSummary(TemporalGraphSummary):
             "sharding_shard_calls",
             "Cumulative calls each shard worker executed (as of the last "
             "shard_stats sweep).", labelnames=("shard",))
+        self._metric_packed = registry.gauge(
+            "sharding_transport_packed_batches",
+            "Batches shipped to process workers over the shared-memory "
+            "packed-edge transport (parent-side counter; zero for serial "
+            "and thread executors).")
+        self._metric_packed.set_function(
+            lambda: float(self.transport_stats()["packed_batches"]))
+        self._metric_packed_bytes = registry.gauge(
+            "sharding_transport_packed_bytes",
+            "Payload bytes shipped over the shared-memory transport "
+            "(parent-side counter).")
+        self._metric_packed_bytes.set_function(
+            lambda: float(self.transport_stats()["packed_bytes"]))
         self._metric_migrations = registry.counter(
             "sharding_migrations_total", "Completed live shard migrations.")
         self._metric_recoveries = registry.counter(
@@ -695,6 +708,30 @@ class ShardedSummary(TemporalGraphSummary):
             self._metric_calls.set(calls, shard=str(index))
         return stats
 
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregate shared-memory transport counters across all workers.
+
+        Summed over each worker's parent-side
+        :meth:`~repro.core.executor.ShardWorker.transport_stats` — a plain
+        local read, never a worker round trip, so it is safe from
+        collection-time metric callbacks.  All zeros for serial and thread
+        executors, which never pack batches.
+        """
+        totals = {"packed_batches": 0, "packed_bytes": 0,
+                  "fallback_batches": 0, "live_regions": 0}
+        for index, worker in enumerate(self._workers):
+            for key, value in worker.transport_stats().items():
+                try:
+                    totals[key] = totals.get(key, 0) + int(value)
+                except (TypeError, ValueError) as exc:
+                    # Counters come from worker wrappers tests may replace;
+                    # malformed data is a shard fault, not a caller error
+                    # (ERR002).
+                    raise ShardingError(
+                        f"shard {index} returned malformed transport "
+                        f"stats {key}={value!r}") from exc
+        return totals
+
     def shard_summaries(self) -> List[TemporalGraphSummary]:
         """The inner summaries, for inspection by tests and analyses.
 
@@ -719,6 +756,7 @@ class ShardedSummary(TemporalGraphSummary):
             "items_ingested": self.items_ingested,
             "shard_items": list(self._shard_items),
             "memory_bytes": self.memory_bytes(),
+            "transport": self.transport_stats(),
         }
 
     # ------------------------------------------------------------------ #

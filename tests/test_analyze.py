@@ -338,6 +338,71 @@ class TestHotPathLoops:
                 return sum(values)
             """) == []
 
+    def test_bulk_twin_annotation_suppresses_loops(self):
+        # The scalar fallback of a vectorized kernel declares its bulk twin
+        # and keeps its loop without a baseline entry.
+        assert rules_of("""
+            # hot-path: bulk=kernel_array
+            def kernel(values):
+                total = 0.0
+                for value in values:
+                    total += value
+                return total
+
+            def kernel_array(values):
+                return values.sum()
+            """) == []
+
+    def test_dangling_bulk_twin_is_a_finding(self):
+        findings = analyze_source(textwrap.dedent("""
+            # hot-path: bulk=kernel_array
+            def kernel(values):
+                for value in values:
+                    pass
+            """), "src/repro/core/mod.py")
+        assert [f.rule for f in findings] == ["HOT001"]
+        assert "kernel_array" in findings[0].message
+        assert "not defined" in findings[0].message
+
+    def test_dotted_bulk_twin_accepted_without_resolution(self):
+        # Cross-module twins (vectorized.lift_array) cannot be resolved by
+        # the per-file pass; the dotted form is accepted as-is.
+        assert rules_of("""
+            # hot-path: bulk=vectorized.kernel_array
+            def kernel(values):
+                for value in values:
+                    pass
+            """) == []
+
+    def test_bulk_call_suffix_makes_loops_compliant(self):
+        # A hot-path function whose body drives *_array kernels may keep
+        # orchestration loops: the per-item math already moved to numpy.
+        assert rules_of("""
+            # hot-path
+            def kernel(matrix, items):
+                rows = matrix.probe_rows_array(items)
+                return [tuple(row) for row in rows.tolist()]
+            """) == []
+
+    def test_numpy_rooted_call_makes_loops_compliant(self):
+        assert rules_of("""
+            # hot-path
+            def kernel(columns):
+                stacked = np.concatenate(columns)
+                return [c for c in stacked.tolist()]
+            """) == []
+
+    def test_non_bulk_calls_still_trip(self):
+        findings = analyze_source(textwrap.dedent("""
+            # hot-path
+            def kernel(matrix, items):
+                out = []
+                for item in items:
+                    out.append(matrix.probe_rows(item))
+                return out
+            """), "src/repro/core/mod.py")
+        assert [f.rule for f in findings] == ["HOT001"]
+
 
 # --------------------------------------------------------------------- #
 # driver: suppressions and baseline

@@ -1,0 +1,280 @@
+"""Bit-identity of the vectorized kernels against the pure-Python fallback.
+
+Every numpy path in the codebase is an *optimization*, never a semantic
+change: the accelerated kernels must produce byte-for-byte the same summary
+(bucket contents, occupancy maps, leaf time ranges, overflow maps) and the
+same query answers as the retained pure-Python code.  These tests build the
+same stream twice — once with the accelerator active, once under
+``set_pure_python(True)`` — and compare deep structural digests plus every
+query type (edge, vertex in/out, path, subgraph) through both the per-item
+and the batch query APIs, for both sharding partition modes.
+
+Kernel-level properties (``hash64_array`` vs :func:`repro.core.hashing.hash64`
+and friends) are pinned separately so a divergence points at the exact
+kernel rather than at "the tree ended up different".
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Higgs, HiggsConfig
+from repro.core import vectorized
+from repro.core.aggregation import lift_coordinates
+from repro.core.config import set_pure_python
+from repro.core.hashing import VertexHasher, hash64
+from repro.core.matrix import CompressedMatrix
+from repro.queries.types import (EdgeQuery, PathQuery, SubgraphQuery,
+                                 VertexQuery)
+from repro.sharding import ShardedSummary
+from repro.streams.edge import StreamEdge
+
+pytestmark = pytest.mark.skipif(
+    not vectorized.available(),
+    reason="numpy not importable; only the fallback path exists")
+
+np = vectorized.np
+
+# Small universes force fingerprint collisions, bucket spills, overflow
+# blocks, and aggregation — the structurally interesting regimes.
+_SMALL = HiggsConfig(leaf_matrix_size=4, bucket_entries=1,
+                     fingerprint_bits=8, num_probes=2, fanout=4)
+_MEDIUM = HiggsConfig(leaf_matrix_size=8, bucket_entries=2,
+                      fingerprint_bits=12, num_probes=3)
+
+_vertices = st.integers(min_value=0, max_value=20).map(lambda i: f"v{i}")
+_edges = st.lists(
+    st.tuples(_vertices, _vertices, st.integers(1, 9), st.integers(0, 120)),
+    min_size=1, max_size=150).map(
+        lambda items: [StreamEdge(s, d, float(w), t)
+                       for s, d, w, t in
+                       sorted(items, key=lambda item: item[3])])
+_keys = st.one_of(
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    st.text(max_size=24),
+    st.binary(max_size=24))
+
+
+@pytest.fixture()
+def pure_python_toggle():
+    """Restore accelerator auto-detection after a test that forces modes."""
+    yield set_pure_python
+    set_pure_python(None)
+
+
+def _matrix_digest(matrix: CompressedMatrix):
+    buckets = {
+        position: [(e.src_fingerprint, e.dst_fingerprint, e.src_probe,
+                    e.dst_probe, e.weight, e.timestamp) for e in bucket]
+        for position, bucket in matrix._buckets.items()}
+    rows = {row: sorted(cols) for row, cols in matrix._rows.items()}
+    cols = {col: sorted(rows) for col, rows in matrix._cols.items()}
+    return (buckets, rows, cols, matrix.start_time, matrix.end_time)
+
+
+def _tree_digest(summary: Higgs):
+    tree = summary._tree
+    leaves = [
+        ([_matrix_digest(m) for m in leaf.matrices()], leaf.closed)
+        for leaf in tree.leaves]
+    internal = [
+        [(_matrix_digest(node.matrix), dict(node.overflow))
+         for node in level]
+        for level in tree.internal_levels()]
+    return (leaves, internal, summary.stats())
+
+
+def _build(config, edges, batch: bool):
+    summary = Higgs(config)
+    if batch:
+        summary.insert_batch(edges)
+    else:
+        for edge in edges:
+            summary.insert(edge.source, edge.destination, edge.weight,
+                           edge.timestamp)
+    return summary
+
+
+def _queries(edges):
+    t_min = min(e.timestamp for e in edges)
+    t_max = max(e.timestamp for e in edges)
+    spans = [(t_min, t_max), (t_min, (t_min + t_max) // 2), (t_max, t_max)]
+    built = []
+    for t0, t1 in spans:
+        for edge in edges[:20]:
+            built.append(EdgeQuery(edge.source, edge.destination, t0, t1))
+            built.append(VertexQuery(edge.source, t0, t1, "out"))
+            built.append(VertexQuery(edge.destination, t0, t1, "in"))
+        if len(edges) >= 2:
+            built.append(PathQuery((edges[0].source, edges[0].destination,
+                                    edges[1].destination), t0, t1))
+            built.append(SubgraphQuery(
+                tuple((e.source, e.destination) for e in edges[:5]), t0, t1))
+    return built
+
+
+# --------------------------------------------------------------------- #
+# kernel-level equivalences
+# --------------------------------------------------------------------- #
+
+@given(keys=st.lists(_keys, min_size=1, max_size=60),
+       seed=st.integers(0, 2 ** 32 - 1))
+@settings(max_examples=80, deadline=None)
+def test_hash64_array_matches_scalar(keys, seed):
+    bulk = vectorized.hash64_array(keys, seed).tolist()
+    assert bulk == [hash64(key, seed) for key in keys]
+
+
+@given(keys=st.lists(_keys, min_size=1, max_size=40),
+       seed=st.integers(0, 2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_split_array_matches_vertex_hasher(keys, seed):
+    config = HiggsConfig(hash_seed=seed)
+    hasher = VertexHasher(config.fingerprint_bits, config.leaf_matrix_size,
+                          seed=seed)
+    hashes = vectorized.hash64_array(keys, seed)
+    fingerprints, addresses = vectorized.split_array(
+        hashes, config.fingerprint_bits, config.leaf_matrix_size)
+    expected = [hasher.split(key) for key in keys]
+    assert list(zip(fingerprints.tolist(), addresses.tolist())) == expected
+
+
+@given(items=st.lists(st.tuples(st.integers(0, 2 ** 19 - 1),
+                                st.integers(0, 15)),
+                      min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_probe_rows_array_matches_scalar(items):
+    matrix = CompressedMatrix(size=16, bucket_entries=2, num_probes=4)
+    fingerprints = np.asarray([fp for fp, _ in items], dtype=np.int64)
+    addresses = np.asarray([addr for _, addr in items], dtype=np.int64)
+    bulk = matrix.probe_rows_array(fingerprints, addresses)
+    for row, (fp, addr) in zip(bulk.tolist(), items):
+        assert tuple(row) == matrix.probe_rows(fp, addr)
+
+
+@given(fps=st.lists(st.integers(0, 2 ** 19 - 1), min_size=1, max_size=50),
+       from_level=st.integers(1, 3), up=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_lift_array_matches_lift_coordinates(fps, from_level, up):
+    config = _MEDIUM
+    to_level = from_level + up
+    addrs = [fp % config.matrix_size_at(from_level) for fp in fps]
+    lifted_fp, lifted_addr = vectorized.lift_array(
+        np.asarray(fps, dtype=np.int64), np.asarray(addrs, dtype=np.int64),
+        from_level, to_level, config)
+    expected = [lift_coordinates(fp, addr, from_level, to_level, config)
+                for fp, addr in zip(fps, addrs)]
+    assert list(zip(lifted_fp.tolist(), lifted_addr.tolist())) == expected
+
+
+def test_group_ids_first_occurrence_order():
+    gids = vectorized.group_ids(
+        np.asarray([3, 1, 3, 2, 1], dtype=np.int64),
+        np.asarray([0, 0, 0, 0, 0], dtype=np.int64)).tolist()
+    # Equal rows share an id; ids are dense but need not be order of first
+    # occurrence — only the partition matters for the placement memo.
+    assert gids[0] == gids[2]
+    assert gids[1] == gids[4]
+    assert len({gids[0], gids[1], gids[3]}) == 3
+
+
+# --------------------------------------------------------------------- #
+# end-to-end bit identity
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("config", [_SMALL, _MEDIUM],
+                         ids=["small", "medium"])
+@given(edges=_edges)
+@settings(max_examples=25, deadline=None)
+def test_batch_insert_summary_bit_identical(config, edges):
+    try:
+        set_pure_python(False)
+        fast = _build(config, edges, batch=True)
+        set_pure_python(True)
+        slow = _build(config, edges, batch=True)
+    finally:
+        set_pure_python(None)
+    assert _tree_digest(fast) == _tree_digest(slow)
+
+
+@given(edges=_edges)
+@settings(max_examples=20, deadline=None)
+def test_batch_insert_matches_per_item_inserts(edges):
+    try:
+        set_pure_python(False)
+        batched = _build(_SMALL, edges, batch=True)
+        set_pure_python(True)
+        itemized = _build(_SMALL, edges, batch=False)
+    finally:
+        set_pure_python(None)
+    assert _tree_digest(batched) == _tree_digest(itemized)
+
+
+@given(edges=_edges)
+@settings(max_examples=20, deadline=None)
+def test_query_answers_bit_identical(edges):
+    queries = _queries(edges)
+    try:
+        set_pure_python(False)
+        fast = _build(_SMALL, edges, batch=True)
+        fast_batch = fast.query_batch(queries)
+        fast_items = [query.evaluate(fast) for query in queries
+                      if not isinstance(query, (PathQuery, SubgraphQuery))]
+        set_pure_python(True)
+        slow = _build(_SMALL, edges, batch=True)
+        slow_batch = slow.query_batch(queries)
+        slow_items = [query.evaluate(slow) for query in queries
+                      if not isinstance(query, (PathQuery, SubgraphQuery))]
+    finally:
+        set_pure_python(None)
+    assert fast_batch == slow_batch
+    assert fast_items == slow_items
+
+
+@pytest.mark.parametrize("partition_by", ["source", "edge"])
+@given(edges=_edges)
+@settings(max_examples=10, deadline=None)
+def test_sharded_answers_bit_identical(partition_by, edges):
+    queries = _queries(edges)
+
+    def run(pure: bool):
+        set_pure_python(pure)
+        engine = ShardedSummary(shards=3, partition_by=partition_by)
+        try:
+            engine.insert_batch(edges)
+            digests = tuple(_tree_digest(inner)
+                            for inner in engine.shard_summaries())
+            return digests, engine.query_batch(queries)
+        finally:
+            engine.close()
+
+    try:
+        fast_state, fast_answers = run(False)
+        slow_state, slow_answers = run(True)
+    finally:
+        set_pure_python(None)
+    assert fast_state == slow_state
+    assert fast_answers == slow_answers
+
+
+def test_generator_prefix_applied_on_mid_stream_error(pure_python_toggle):
+    """The numpy batch path keeps the scalar streaming exception contract."""
+
+    class Boom(RuntimeError):
+        pass
+
+    def stream(count):
+        for i in range(count):
+            yield StreamEdge(f"v{i % 7}", f"v{(i + 1) % 7}", 1.0, i)
+        raise Boom()
+
+    def build(pure: bool):
+        pure_python_toggle(pure)
+        summary = Higgs(_SMALL)
+        with pytest.raises(Boom):
+            summary.insert_batch(stream(40))
+        return summary
+
+    assert _tree_digest(build(False)) == _tree_digest(build(True))

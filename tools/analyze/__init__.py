@@ -22,7 +22,9 @@ raises, hot-path loop inventory).  Two halves:
   ERR001    raising bare builtin exceptions instead of
             :mod:`repro.errors` types from ``src/repro/**``
   HOT001    per-edge Python loop inside a function marked ``# hot-path``
-            (the machine-checked vectorization inventory)
+            (the machine-checked vectorization inventory); scalar twins
+            declaring ``# hot-path: bulk=<kernel>`` and hot-path
+            functions driving ``*_array``/numpy bulk calls are compliant
   ========  ==========================================================
 
 * **Interprocedural rules** (:mod:`tools.analyze.callgraph` builds a

@@ -59,7 +59,7 @@ _LOGGING_NAMES = {"log", "debug", "info", "warning", "warn", "error",
                   "exception", "critical", "print", "fail", "record"}
 
 _GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([^\s#][^#]*?)\s*$")
-_HOT_PATH = re.compile(r"#\s*hot-path\b")
+_HOT_PATH = re.compile(r"#\s*hot-path\b(?::\s*bulk=(?P<bulk>[\w.]+))?")
 
 
 @dataclass(frozen=True)
@@ -481,6 +481,34 @@ _LOOP_NODES = (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
                ast.GeneratorExp)
 
 
+#: Function-name suffixes that mark a call as a bulk (array-at-a-time)
+#: kernel; calls to such names, or through the ``np``/``numpy`` modules,
+#: make a hot-path function HOT001-compliant (see below).
+_BULK_SUFFIXES = ("_array", "_arrays")
+
+
+def _is_bulk_call(call: ast.Call) -> bool:
+    """True when ``call`` invokes a bulk kernel.
+
+    Either the called name ends in a :data:`_BULK_SUFFIXES` suffix
+    (``probe_rows_array``, ``vectorized.hash64_array``, ...) or the
+    attribute chain is rooted at ``np`` / ``numpy`` (``np.unique``,
+    ``numpy.concatenate``, ...).
+    """
+    func = call.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+        root = func
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id in ("np", "numpy"):
+            return True
+    return name is not None and name.endswith(_BULK_SUFFIXES)
+
+
 def check_hot_path_loops(ctx: _Context) -> List[Finding]:
     """HOT001: per-item Python loops inside ``# hot-path`` functions.
 
@@ -488,12 +516,42 @@ def check_hot_path_loops(ctx: _Context) -> List[Finding]:
     vectorization item must replace with bulk array operations; each one is
     expected to live in the committed baseline with that justification until
     it is vectorized.
+
+    Two shapes of hot-path function are **compliant** (their loops are not
+    findings):
+
+    * ``# hot-path: bulk=<name>`` — the function is the retained scalar
+      twin of the named bulk kernel (numpy is optional, so the scalar loop
+      must exist).  A bare ``<name>`` must be defined in the same file —
+      a dangling twin reference is itself a finding — while a dotted name
+      (``vectorized.lift_array``) is accepted as-is, since the reference
+      crosses a module boundary the per-file pass cannot resolve.
+    * A plain ``# hot-path`` function that *makes bulk calls* (a call to a
+      ``*_array``/``*_arrays`` kernel or through ``np``/``numpy``): its
+      remaining Python loops are orchestration around vectorized work, not
+      per-item math — exactly the end state the inventory drives toward.
     """
+    defined_names = {
+        node.name for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
     findings: List[Finding] = []
     for node in ast.walk(ctx.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        if _annotation_for(node.lineno, ctx.comments, ctx.lines, _HOT_PATH) is None:
+        match = _annotation_for(node.lineno, ctx.comments, ctx.lines,
+                                _HOT_PATH)
+        if match is None:
+            continue
+        bulk = match.group("bulk")
+        if bulk is not None:
+            if "." not in bulk and bulk not in defined_names:
+                findings.append(Finding(
+                    "HOT001", ctx.path, node.lineno, node.name,
+                    f"hot-path function '{node.name}' names bulk twin "
+                    f"'{bulk}' which is not defined in this file"))
+            continue
+        if any(isinstance(sub, ast.Call) and _is_bulk_call(sub)
+               for sub in ast.walk(node)):
             continue
         for sub in ast.walk(node):
             if isinstance(sub, _LOOP_NODES):

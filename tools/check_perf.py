@@ -28,6 +28,8 @@ Usage::
 
     PYTHONPATH=src python tools/check_perf.py                 # gate
     PYTHONPATH=src python tools/check_perf.py --update        # refresh baselines
+    PYTHONPATH=src python tools/check_perf.py --summary       # + markdown table
+                                     # (to $GITHUB_STEP_SUMMARY when set)
     PYTHONPATH=src python tools/check_perf.py --inject-slowdown 0.01
                                                               # prove the gate trips
     PYTHONPATH=src python tools/check_perf.py --inject-read-tail 0.05
@@ -53,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -72,6 +75,7 @@ DEFAULT_REPORT = REPO_ROOT / "results" / "perf_check.json"
 GATED_METRICS: Dict[str, dict] = {
     "batch_higgs_speedup_x": {},
     "sharded_parallel_x4": {},
+    "sharded_wall_x4": {"min_cores": 4},
     "rebalance_recovery_x": {},
     "serving_read_p99_p50_x": {"direction": "lower", "tolerance": 1.0},
     "serving_shed_fraction": {"direction": "lower", "tolerance": 0.35},
@@ -157,6 +161,12 @@ def run_measurements(scale: float) -> Dict[str, float]:
       ``insert`` throughput ratio (the PR 1 win).
     * ``sharded_parallel_x4`` — projected-parallel ingest speedup of the
       4-shard engine over 1 shard (the PR 2 win).
+    * ``sharded_wall_x4`` — **measured** wall-clock ingest speedup of the
+      4-shard ``"process"`` engine over 1 shard, through the packed-edge
+      shared-memory transport.  Declares ``min_cores: 4``: it is always
+      measured and recorded, but only enforced on hosts with at least four
+      cores — a single-core runner cannot realize parallel speedup, so the
+      gate reports it as ``skipped: N cores`` there instead of failing.
     * ``rebalance_recovery_x`` — slowest-shard load ratio of the skewed
       phase over the rebalanced phase of the elastic-rebalancing
       experiment, i.e. the projected throughput recovered by live key
@@ -189,6 +199,8 @@ def run_measurements(scale: float) -> Dict[str, float]:
                                        hot_fractions=())
     by_shards = {row["shards"]: row for row in sharded_rows
                  if row["figure"] == "sharded"}
+    process_by_shards = {row["shards"]: row for row in sharded_rows
+                         if row["figure"] == "sharded-process"}
 
     rebalance_rows = run_rebalance(scale=scale)
     rebalanced = next(row for row in rebalance_rows
@@ -209,7 +221,9 @@ def run_measurements(scale: float) -> Dict[str, float]:
         "batch_higgs_eps": float(higgs["batch_eps"]),
         "batch_higgs_per_item_eps": float(higgs["per_item_eps"]),
         "sharded_parallel_x4": float(by_shards[4]["parallel_x"]),
+        "sharded_wall_x4": float(process_by_shards[4]["wall_x"]),
         "sharded_wall_eps_1": float(by_shards[1]["wall_eps"]),
+        "host_cores": float(process_by_shards[4]["host_cores"]),
         "rebalance_recovery_x": float(rebalanced["recovery_x"]),
         "rebalance_measured_x": float(rebalanced["measured_x"]),
         "rebalance_recover_s": float(recovery["recover_s"]),
@@ -235,14 +249,20 @@ def compare(measured: Dict[str, float], baselines: Dict[str, dict],
     row's ``limit`` is the pass/fail boundary in the metric's own direction.
     Metrics present in the measurement but absent from the baselines (the
     informational ones) are reported with ``gated = False`` and never fail.
+
+    An entry may declare ``"min_cores": N``: on a host with fewer than N
+    cores the metric is still measured and reported, but the verdict is
+    recorded as skipped (``skipped = "skipped: C cores"``) rather than
+    enforced — a hardware precondition, not a regression.
     """
+    host_cores = os.cpu_count() or 1
     rows: List[Dict[str, object]] = []
     for name, value in sorted(measured.items()):
         entry = baselines.get(name)
         if entry is None:
             rows.append({"metric": name, "measured": value, "baseline": None,
                          "limit": None, "direction": None, "gated": False,
-                         "ok": True})
+                         "ok": True, "skipped": None})
             continue
         baseline = float(entry["value"])
         direction = str(entry.get("direction", "higher"))
@@ -256,9 +276,14 @@ def compare(measured: Dict[str, float], baselines: Dict[str, dict],
         else:
             limit = baseline * (1.0 - tol)
             ok = value >= limit
+        skipped = None
+        min_cores = int(entry.get("min_cores", 0))
+        if min_cores and host_cores < min_cores:
+            skipped = f"skipped: {host_cores} cores"
+            ok = True
         rows.append({"metric": name, "measured": value, "baseline": baseline,
                      "limit": limit, "direction": direction, "gated": True,
-                     "ok": ok})
+                     "ok": ok, "skipped": skipped})
     missing = sorted(set(baselines) - set(measured))
     for name in missing:
         rows.append({"metric": name, "measured": None,
@@ -266,8 +291,52 @@ def compare(measured: Dict[str, float], baselines: Dict[str, dict],
                      "limit": None,
                      "direction": str(baselines[name].get("direction",
                                                           "higher")),
-                     "gated": True, "ok": False})
+                     "gated": True, "ok": False, "skipped": None})
     return rows
+
+
+def render_markdown(rows: List[Dict[str, object]], scale: float,
+                    tolerance: float) -> str:
+    """Render the comparison as a GitHub-flavored markdown table.
+
+    One row per metric: measured value, baseline, signed % delta from the
+    baseline, and the verdict (``pass`` / ``FAIL`` / ``skipped: N cores``
+    for under-provisioned ``min_cores`` metrics / ``info`` for ungated
+    ones).  Written to ``$GITHUB_STEP_SUMMARY`` by the CI jobs so the
+    numbers are readable from the run page without downloading artifacts.
+    """
+    lines = [
+        f"### Perf gate (scale {scale:g}, tolerance {tolerance:.0%})",
+        "",
+        "| metric | measured | baseline | delta | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        name = str(row["metric"])
+        measured = ("—" if row["measured"] is None
+                    else f"{float(row['measured']):.3f}")
+        if row["baseline"] is None:
+            baseline = delta = "—"
+        else:
+            baseline = f"{float(row['baseline']):.3f}"
+            if row["measured"] is None:
+                delta = "—"
+            else:
+                change = (float(row["measured"]) / float(row["baseline"])
+                          - 1.0) if float(row["baseline"]) else 0.0
+                delta = f"{change:+.1%}"
+        if not row["gated"]:
+            verdict = "info"
+        elif row.get("skipped"):
+            verdict = f"⏭️ {row['skipped']}"
+        elif row["ok"]:
+            verdict = "✅ pass"
+        else:
+            verdict = "❌ FAIL"
+        lines.append(f"| `{name}` | {measured} | {baseline} | {delta} "
+                     f"| {verdict} |")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -284,6 +353,11 @@ def main(argv: List[str] | None = None) -> int:
                         help="override the baselines file's relative tolerance")
     parser.add_argument("--update", action="store_true",
                         help="write measured values back as the new baselines")
+    parser.add_argument("--summary", type=Path, nargs="?", const=None,
+                        default=argparse.SUPPRESS, metavar="PATH",
+                        help="append a markdown comparison table to PATH "
+                             "(default: $GITHUB_STEP_SUMMARY, or stdout "
+                             "when that is unset)")
     parser.add_argument("--inject-slowdown", type=float, default=0.0,
                         metavar="SECONDS",
                         help="slow every Higgs.insert_batch by SECONDS first "
@@ -340,13 +414,23 @@ def main(argv: List[str] | None = None) -> int:
     measured = run_measurements(scale)
 
     if args.update:
+        host_cores = os.cpu_count() or 1
+        metrics_spec: Dict[str, dict] = {}
+        for name, extras in GATED_METRICS.items():
+            value = round(measured[name], 4)
+            min_cores = int(extras.get("min_cores", 0))
+            if min_cores and host_cores < min_cores and name in gated:
+                # This host cannot measure the metric meaningfully (it is
+                # skipped by the gate here too); keep the committed value
+                # from a sufficiently provisioned runner.
+                value = float(gated[name]["value"])
+                print(f"baseline for {name} kept at {value} "
+                      f"(needs >= {min_cores} cores, host has {host_cores})")
+            metrics_spec[name] = {"value": value, **extras}
         spec = {
             "scale": scale,
             "tolerance": tolerance,
-            "metrics": {
-                name: {"value": round(measured[name], 4), **extras}
-                for name, extras in GATED_METRICS.items()
-            },
+            "metrics": metrics_spec,
         }
         args.baselines.parent.mkdir(parents=True, exist_ok=True)
         args.baselines.write_text(json.dumps(spec, indent=2) + "\n",
@@ -365,10 +449,25 @@ def main(argv: List[str] | None = None) -> int:
         baseline = (f"baseline {row['baseline']:.3f} "
                     f"want {bound} {row['limit']:.3f}"
                     if row["limit"] is not None else "")
+        if row.get("skipped"):
+            baseline += f"  [{row['skipped']}]"
         value = ("missing" if row["measured"] is None
                  else f"{row['measured']:.3f}")
         print(f"{flag}[{kind}] {str(row['metric']).ljust(width)} "
               f"measured {value}  {baseline}")
+
+    if hasattr(args, "summary"):
+        markdown = render_markdown(rows, scale, tolerance)
+        target = args.summary
+        if target is None:
+            step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+            target = Path(step_summary) if step_summary else None
+        if target is None:
+            print(markdown)
+        else:
+            with open(target, "a", encoding="utf-8") as handle:
+                handle.write(markdown + "\n")
+            print(f"markdown summary appended: {target}")
 
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps({
